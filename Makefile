@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test race bench cover fuzz experiments examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+cover:
+	go test -coverprofile=cover.out ./internal/... .
+	go tool cover -func=cover.out | tail -1
+
+fuzz:
+	go test -fuzz=FuzzSkylineInvariants -fuzztime=60s ./internal/skyline/
+	go test -fuzz=FuzzMergeAgainstNaive -fuzztime=60s ./internal/skyline/
+	go test -fuzz=FuzzSelectorInvariants -fuzztime=60s ./internal/forwarding/
+
+# Full paper reproduction (the 200-replication suite) + extensions.
+experiments:
+	go run ./cmd/mldcsim -scenario scenarios/paper.json -report report/paper
+	go run ./cmd/mldcsim -scenario scenarios/extensions.json -report report/extensions
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/heterogeneous
+	go run ./examples/broadcaststorm
+	go run ./examples/routediscovery
+	go run ./examples/backbone
+	go run ./examples/dynamictopology
+	go run ./examples/skylineviz .
+
+clean:
+	rm -f cover.out
+	rm -rf report

@@ -1,0 +1,152 @@
+// Command mldcscover computes the skyline / minimum local disk cover set
+// of a disk set read from a file (or stdin) and prints it in one of
+// several formats.
+//
+// Input: one disk per line, "x y r" (whitespace- or comma-separated);
+// blank lines and lines starting with '#' are ignored. The first disk is
+// the hub unless -hub overrides it; every disk must contain the hub.
+//
+//	mldcscover -in disks.txt                 # cover-set indices
+//	mldcscover -in disks.txt -format arcs    # the skyline arcs
+//	mldcscover -in disks.txt -format area    # exact union area
+//	mldcscover -in disks.txt -format svg > out.svg
+//	echo "0 0 1.5
+//	0.9 0 1.2" | mldcscover -format set
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"repro"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "-", "input file (\"-\" = stdin)")
+		format  = flag.String("format", "set", "output: set | arcs | area | svg")
+		hubSpec = flag.String("hub", "", "hub point \"x,y\" (default: first disk's center)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	disks, err := parseDisks(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(disks) == 0 {
+		fatal(fmt.Errorf("no disks in input"))
+	}
+	hub := disks[0].C
+	if *hubSpec != "" {
+		hub, err = parseHub(*hubSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := run(os.Stdout, disks, hub, *format); err != nil {
+		fatal(err)
+	}
+}
+
+// run computes and prints the requested view of the disk set.
+func run(w io.Writer, disks []mldcs.Disk, hub mldcs.Point, format string) error {
+	sl, err := mldcs.ComputeSkyline(hub, disks)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "set":
+		set := sl.Set()
+		fmt.Fprintf(w, "cover set (%d of %d disks):", len(set), len(disks))
+		for _, i := range set {
+			fmt.Fprintf(w, " %d", i)
+		}
+		fmt.Fprintln(w)
+	case "arcs":
+		for _, a := range sl {
+			d := disks[a.Disk]
+			fmt.Fprintf(w, "%.6f %.6f disk=%d center=(%.6f,%.6f) r=%.6f\n",
+				a.Start, a.End, a.Disk, d.C.X, d.C.Y, d.R)
+		}
+	case "area":
+		area, err := mldcs.UnionArea(hub, disks)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%.9f\n", area)
+	case "svg":
+		fmt.Fprint(w, mldcs.RenderLocalSetSVG(hub, disks, sl))
+	default:
+		return fmt.Errorf("unknown format %q (want set, arcs, area, or svg)", format)
+	}
+	return nil
+}
+
+// parseDisks reads "x y r" lines, tolerating commas and comments.
+func parseDisks(r io.Reader) ([]mldcs.Disk, error) {
+	var disks []mldcs.Disk
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("line %d: want \"x y r\", got %q", lineNo, line)
+		}
+		var vals [3]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q: %v", lineNo, f, err)
+			}
+			vals[i] = v
+		}
+		disks = append(disks, mldcs.NewDisk(vals[0], vals[1], vals[2]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return disks, nil
+}
+
+func parseHub(s string) (mldcs.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return mldcs.Point{}, fmt.Errorf("bad hub %q: want \"x,y\"", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return mldcs.Point{}, fmt.Errorf("bad hub x: %v", err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return mldcs.Point{}, fmt.Errorf("bad hub y: %v", err)
+	}
+	return mldcs.Pt(x, y), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mldcscover:", err)
+	os.Exit(1)
+}

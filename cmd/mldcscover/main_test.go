@@ -1,0 +1,114 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestParseDisks(t *testing.T) {
+	in := `
+# comment
+0 0 1.5
+0.9, 0, 1.2
+	-0.5	0.1	1.0
+`
+	disks, err := parseDisks(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disks) != 3 {
+		t.Fatalf("parsed %d disks, want 3", len(disks))
+	}
+	if disks[1].C.X != 0.9 || disks[1].R != 1.2 {
+		t.Errorf("disk 1 = %v", disks[1])
+	}
+	if disks[2].C.X != -0.5 || disks[2].C.Y != 0.1 {
+		t.Errorf("disk 2 = %v", disks[2])
+	}
+}
+
+func TestParseDisksErrors(t *testing.T) {
+	if _, err := parseDisks(strings.NewReader("1 2")); err == nil {
+		t.Error("short line must fail")
+	}
+	if _, err := parseDisks(strings.NewReader("a b c")); err == nil {
+		t.Error("non-numeric must fail")
+	}
+	disks, err := parseDisks(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(disks) != 0 {
+		t.Errorf("comment-only input: %v, %v", disks, err)
+	}
+}
+
+func TestParseHub(t *testing.T) {
+	p, err := parseHub("1.5, -2")
+	if err != nil || p.X != 1.5 || p.Y != -2 {
+		t.Errorf("parseHub = %v, %v", p, err)
+	}
+	for _, bad := range []string{"1", "1,2,3", "x,2", "1,y"} {
+		if _, err := parseHub(bad); err == nil {
+			t.Errorf("parseHub(%q) must fail", bad)
+		}
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	disks := []mldcs.Disk{
+		mldcs.NewDisk(0, 0, 1.5),
+		mldcs.NewDisk(0.9, 0, 1.2),
+		mldcs.NewDisk(0.1, 0.1, 0.3), // buried
+	}
+	hub := mldcs.Pt(0, 0)
+
+	var set strings.Builder
+	if err := run(&set, disks, hub, "set"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(set.String(), "cover set") {
+		t.Errorf("set output: %q", set.String())
+	}
+	if strings.Contains(set.String(), " 2\n") {
+		t.Errorf("buried disk 2 must not be in the cover: %q", set.String())
+	}
+
+	var arcs strings.Builder
+	if err := run(&arcs, disks, hub, "arcs"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(arcs.String()), "\n") + 1
+	if lines < 2 {
+		t.Errorf("expected at least 2 arcs, got %q", arcs.String())
+	}
+
+	var area strings.Builder
+	if err := run(&area, disks, hub, "area"); err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	if _, err := fmt.Sscan(area.String(), &got); err != nil {
+		t.Fatalf("area output %q: %v", area.String(), err)
+	}
+	// Union is at least the big disk, at most the sum.
+	if got < math.Pi*1.5*1.5-1e-9 || got > math.Pi*(1.5*1.5+1.2*1.2+0.09)+1e-9 {
+		t.Errorf("area %v implausible", got)
+	}
+
+	var svg strings.Builder
+	if err := run(&svg, disks, hub, "svg"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg.String(), "<svg") {
+		t.Errorf("svg output: %q", svg.String()[:40])
+	}
+
+	if err := run(&svg, disks, hub, "nope"); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if err := run(&svg, []mldcs.Disk{mldcs.NewDisk(9, 9, 1)}, hub, "set"); err == nil {
+		t.Error("disk not containing hub must fail")
+	}
+}

@@ -1,0 +1,266 @@
+// Command mldcsim regenerates the paper's evaluation figures and runs the
+// extension experiments from the command line.
+//
+// Usage:
+//
+//	mldcsim -exp fig5.1                     # reproduce Figure 5.1 (200 reps)
+//	mldcsim -exp fig5.4 -reps 50 -seed 9    # faster, different seed
+//	mldcsim -exp all                        # every experiment in sequence
+//	mldcsim -exp fig5.2 -csv out.csv        # also write the series as CSV
+//	mldcsim -demo -svg skyline.svg          # render a random local set's skyline
+//
+// Experiments: fig5.1 fig5.2 fig5.3 fig5.4 fig5.5 fig5.6 scaling
+// storm-homogeneous storm-heterogeneous.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment to run (or \"all\"); see -list")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		reps     = flag.Int("reps", 200, "replications per data point (paper: 200)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		degrees  = flag.String("degrees", "", "comma-separated mean degrees (default 4..24 step 2)")
+		csvPath  = flag.String("csv", "", "write the figure's series to this CSV file")
+		jsonPath = flag.String("json", "", "write the figure as JSON to this file")
+		plotPath = flag.String("plot", "", "write the figure as an SVG line chart to this file")
+		bars     = flag.String("bars", "", "also render the named series as an ASCII bar chart")
+		demo     = flag.Bool("demo", false, "render a random local disk set's skyline instead of an experiment")
+		svgPath  = flag.String("svg", "", "SVG output path for -demo")
+		demoN    = flag.Int("n", 12, "number of neighbor disks for -demo")
+		scenario = flag.String("scenario", "", "run a JSON scenario file instead of -exp")
+		report   = flag.String("report", "", "with -scenario: write JSON/CSV/SVG + index.md into this directory")
+		analyze  = flag.String("analyze", "", "analyze a deployment trace file (id x y radius per line) instead of -exp")
+		selector = flag.String("selector", "skyline", "forwarding algorithm for -analyze")
+		source   = flag.Int("source", 0, "source node for -analyze")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range mldcs.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *demo {
+		if err := runDemo(*seed, *demoN, *svgPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *analyze != "" {
+		if err := runAnalyze(*analyze, *selector, *source); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scenario != "" {
+		data, err := os.ReadFile(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		figs, err := mldcs.RunScenario(data)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fig := range figs {
+			fmt.Println(fig.String())
+		}
+		if *report != "" {
+			if err := mldcs.WriteReport(*report, figs); err != nil {
+				fatal(err)
+			}
+			fmt.Println("report written to", *report)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: mldcsim -exp <id>|all [-reps N] [-seed S] [-degrees 4,8,12] [-csv out.csv]")
+		fmt.Fprintln(os.Stderr, "       mldcsim -scenario suite.json")
+		fmt.Fprintln(os.Stderr, "       mldcsim -list")
+		fmt.Fprintln(os.Stderr, "       mldcsim -demo [-n 12] [-svg out.svg]")
+		os.Exit(2)
+	}
+
+	cfg := mldcs.DefaultExperimentConfig()
+	cfg.Replications = *reps
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *degrees != "" {
+		ds, err := parseDegrees(*degrees)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Degrees = ds
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = mldcs.ExperimentIDs()
+	}
+	for _, id := range ids {
+		fig, err := mldcs.RunExperiment(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(fig.String())
+		if *bars != "" {
+			chart, err := fig.Bars(*bars, 50)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(chart)
+		}
+		if *plotPath != "" {
+			path := *plotPath
+			if len(ids) > 1 {
+				path = strings.TrimSuffix(path, ".svg") + "-" + id + ".svg"
+			}
+			if err := os.WriteFile(path, []byte(mldcs.RenderFigureSVG(fig)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *jsonPath != "" {
+			path := *jsonPath
+			if len(ids) > 1 {
+				path = strings.TrimSuffix(path, ".json") + "-" + id + ".json"
+			}
+			data, err := fig.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *csvPath != "" {
+			path := *csvPath
+			if len(ids) > 1 {
+				path = strings.TrimSuffix(path, ".csv") + "-" + id + ".csv"
+			}
+			if err := os.WriteFile(path, []byte(fig.Table().CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}
+
+func runDemo(seed int64, n int, svgPath string) error {
+	rng := rand.New(rand.NewSource(seed))
+	hub := mldcs.NewDisk(0, 0, 1+rng.Float64())
+	neighbors := make([]mldcs.Disk, n)
+	for i := range neighbors {
+		r := 1 + rng.Float64()
+		maxDist := r
+		if hub.R < maxDist {
+			maxDist = hub.R
+		}
+		dist := rng.Float64() * maxDist * 0.999
+		theta := rng.Float64() * 2 * math.Pi
+		neighbors[i] = mldcs.Disk{
+			C: mldcs.Pt(dist*math.Cos(theta), dist*math.Sin(theta)),
+			R: r,
+		}
+	}
+	cover, err := mldcs.CoverSet(hub, neighbors)
+	if err != nil {
+		return err
+	}
+	fwd, err := mldcs.ForwardingSet(hub, neighbors)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("local set: hub radius %.3f, %d neighbors\n", hub.R, n)
+	fmt.Printf("minimum local disk cover set (0 = hub): %v\n", cover)
+	fmt.Printf("forwarding set (neighbor indices): %v — %d of %d neighbors relay\n",
+		fwd, len(fwd), n)
+	if svgPath != "" {
+		all := append([]mldcs.Disk{hub}, neighbors...)
+		sl, err := mldcs.ComputeSkyline(hub.C, all)
+		if err != nil {
+			return err
+		}
+		svg := mldcs.RenderLocalSetSVG(hub.C, all, sl)
+		if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+	return nil
+}
+
+// runAnalyze loads a deployment trace and reports the chosen selector's
+// forwarding set and broadcast metrics from the given source node.
+func runAnalyze(path, selName string, source int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	nodes, err := mldcs.ReadDeployment(f)
+	if err != nil {
+		return err
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		return err
+	}
+	if source < 0 || source >= g.Len() {
+		return fmt.Errorf("source %d out of range [0, %d)", source, g.Len())
+	}
+	sel, err := mldcs.SelectorByName(selName)
+	if err != nil {
+		return err
+	}
+	set, err := mldcs.SelectForwarders(g, source, sel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d nodes; source %d has %d neighbors and %d 2-hop neighbors\n",
+		g.Len(), source, g.Degree(source), len(g.TwoHop(source)))
+	fmt.Printf("%s forwarding set (%d nodes): %v\n", selName, len(set), set)
+	fmt.Printf("2-hop coverage: %.1f%%", mldcs.TwoHopCoverage(g, source, set)*100)
+	if missed := mldcs.UncoveredTwoHop(g, source, set); len(missed) > 0 {
+		fmt.Printf(" (misses %v)", missed)
+	}
+	fmt.Println()
+	res, err := mldcs.Broadcast(g, source, sel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broadcast: %d transmissions deliver %d of %d reachable nodes (max hop %d)\n",
+		res.Transmissions, res.Delivered, res.Reachable, res.MaxHop)
+	return nil
+}
+
+func parseDegrees(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad degree %q: %v", part, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mldcsim:", err)
+	os.Exit(1)
+}

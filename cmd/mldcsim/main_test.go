@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParseDegrees(t *testing.T) {
+	got, err := parseDegrees("4, 8,12.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 8, 12.5}
+	if len(got) != len(want) {
+		t.Fatalf("parseDegrees = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseDegrees = %v, want %v", got, want)
+		}
+	}
+	if _, err := parseDegrees("4,x"); err == nil {
+		t.Error("non-numeric degree must fail")
+	}
+	if _, err := parseDegrees(""); err == nil {
+		t.Error("empty string must fail")
+	}
+}
+
+func TestRunAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/trace.txt"
+	data := "# test\n0 0 0 1.5\n1 1 0 1.5\n2 2 0 1.5\n"
+	if err := writeFile(trace, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAnalyze(trace, "skyline", 0); err != nil {
+		t.Fatalf("analyze failed: %v", err)
+	}
+	if err := runAnalyze(trace, "greedy", 1); err != nil {
+		t.Fatalf("analyze with greedy failed: %v", err)
+	}
+	if err := runAnalyze(trace, "nope", 0); err == nil {
+		t.Error("unknown selector must fail")
+	}
+	if err := runAnalyze(trace, "skyline", 99); err == nil {
+		t.Error("bad source must fail")
+	}
+	if err := runAnalyze(dir+"/missing.txt", "skyline", 0); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func writeFile(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
+}
+
+func TestRunDemoSmoke(t *testing.T) {
+	if err := runDemo(3, 6, ""); err != nil {
+		t.Fatalf("demo failed: %v", err)
+	}
+	dir := t.TempDir()
+	if err := runDemo(3, 6, dir+"/out.svg"); err != nil {
+		t.Fatalf("demo with SVG failed: %v", err)
+	}
+}

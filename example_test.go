@@ -1,0 +1,111 @@
+package mldcs_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro"
+)
+
+// The core operation: given a node's own disk and its neighbors' disks,
+// compute the minimum local disk cover set and the forwarding set.
+func ExampleForwardingSet() {
+	hub := mldcs.NewDisk(0, 0, 1)
+	neighbors := []mldcs.Disk{
+		mldcs.NewDisk(0.9, 0, 1.5),  // pokes out east — needed
+		mldcs.NewDisk(-0.9, 0, 1.5), // pokes out west — needed
+		mldcs.NewDisk(0.1, 0, 0.5),  // buried inside the others — redundant
+	}
+	fwd, err := mldcs.ForwardingSet(hub, neighbors)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fwd)
+	// Output: [0 1]
+}
+
+// The skyline is the boundary of the union of the disks: a cyclic list of
+// arcs, each owned by one disk.
+func ExampleComputeSkyline() {
+	disks := []mldcs.Disk{
+		mldcs.NewDisk(0.5, 0, 1),  // right disk
+		mldcs.NewDisk(-0.5, 0, 1), // left disk
+	}
+	sl, err := mldcs.ComputeSkyline(mldcs.Pt(0, 0), disks)
+	if err != nil {
+		panic(err)
+	}
+	// By symmetry the breakpoints are exactly π/2 and 3π/2.
+	for _, a := range sl {
+		fmt.Printf("disk %d: %.4f..%.4f\n", a.Disk, a.Start, a.End)
+	}
+	fmt.Println("set:", sl.Set())
+	// Output:
+	// disk 0: 0.0000..1.5708
+	// disk 1: 1.5708..4.7124
+	// disk 0: 4.7124..6.2832
+	// set: [0 1]
+}
+
+// UnionArea is exact (closed form per skyline arc), not sampled.
+func ExampleUnionArea() {
+	// One disk: the union area is πr².
+	area, err := mldcs.UnionArea(mldcs.Pt(0, 0), []mldcs.Disk{mldcs.NewDisk(0.2, 0.1, 2)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.9f\n", area/(math.Pi*4))
+	// Output: 1.000000000
+}
+
+// Building a network and simulating a broadcast with skyline forwarding.
+func ExampleBroadcast() {
+	// A 5-node chain; radius 1.2 links consecutive nodes only.
+	var nodes []mldcs.Node
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, mldcs.Node{ID: i, Pos: mldcs.Pt(float64(i), 0), Radius: 1.2})
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		panic(err)
+	}
+	sel, err := mldcs.SelectorByName("skyline")
+	if err != nil {
+		panic(err)
+	}
+	res, err := mldcs.Broadcast(g, 0, sel)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %d/%d in %d hops\n", res.Delivered, res.Reachable, res.MaxHop)
+	// Output: delivered 4/4 in 4 hops
+}
+
+// The Figure 5.6 drawback: a dominating disk whose owner cannot be heard
+// back by the far nodes it covers.
+func ExampleTwoHopCoverage() {
+	nodes := []mldcs.Node{
+		{ID: 0, Pos: mldcs.Pt(0, 0), Radius: 1},
+		{ID: 1, Pos: mldcs.Pt(0.8, 0.3), Radius: 1},
+		{ID: 2, Pos: mldcs.Pt(0.8, -0.3), Radius: 1},
+		{ID: 3, Pos: mldcs.Pt(0.5, 0), Radius: 2.5},
+		{ID: 4, Pos: mldcs.Pt(1.7, 0.3), Radius: 0.95},
+		{ID: 5, Pos: mldcs.Pt(1.7, -0.3), Radius: 0.95},
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		panic(err)
+	}
+	sky, _ := mldcs.SelectorByName("skyline")
+	set, err := mldcs.SelectForwarders(g, 0, sky)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("skyline set:", set)
+	fmt.Println("2-hop coverage:", mldcs.TwoHopCoverage(g, 0, set))
+	fmt.Println("stranded:", mldcs.UncoveredTwoHop(g, 0, set))
+	// Output:
+	// skyline set: [3]
+	// 2-hop coverage: 0
+	// stranded: [4 5]
+}

@@ -1,0 +1,75 @@
+// Backbone demo: build connected dominating sets (the CDS-based broadcast
+// backbones of the paper's related work) with the Wu–Li marking process
+// and the MIS-based construction, then compare backbone broadcasting
+// against per-node forwarding sets.
+//
+//	go run ./examples/backbone [seed]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro"
+)
+
+func main() {
+	seed := int64(21)
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseInt(os.Args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", os.Args[1], err)
+		}
+		seed = s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes, err := mldcs.PaperDeployment("heterogeneous", 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes\n\n", g.Len())
+
+	fmt.Printf("%-12s %8s %13s %10s %10s\n", "scheme", "backbone", "transmissions", "delivered", "redundant")
+	for _, method := range []string{"wuli", "mis"} {
+		set, err := mldcs.ConnectedDominatingSet(g, method, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mldcs.BroadcastBackbone(g, 0, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %8d %13d %6d/%-4d %9d\n",
+			method+"-cds", len(set), res.Transmissions, res.Delivered, res.Reachable, res.Redundant)
+	}
+	for _, name := range []string{"skyline", "greedy"} {
+		sel, err := mldcs.SelectorByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mldcs.Broadcast(g, 0, sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %8s %13d %6d/%-4d %9d\n",
+			name, "—", res.Transmissions, res.Delivered, res.Reachable, res.Redundant)
+	}
+	flood, err := mldcs.Broadcast(g, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %8s %13d %6d/%-4d %9d\n",
+		"flooding", "—", flood.Transmissions, flood.Delivered, flood.Reachable, flood.Redundant)
+
+	fmt.Println()
+	fmt.Println("a CDS is a standing backbone: only its members ever relay, so the")
+	fmt.Println("per-broadcast cost is fixed by the backbone size, while forwarding")
+	fmt.Println("sets (skyline/greedy) are chosen per node from local information.")
+}

@@ -1,0 +1,64 @@
+// Dynamic topology demo: a mobile node walks across the network while we
+// maintain the graph incrementally (MoveNode patches adjacency instead of
+// rebuilding) and watch the source's skyline forwarding set react to each
+// topology change.
+//
+//	go run ./examples/dynamictopology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(33))
+	nodes, err := mldcs.PaperDeployment("heterogeneous", 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sky, err := mldcs.SelectorByName("skyline")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a walker: the highest-ID node, sent marching through the
+	// source's neighborhood.
+	walker := g.Len() - 1
+	src := g.Node(0).Pos
+	fmt.Printf("network: %d nodes; walker is node %d\n", g.Len(), walker)
+	fmt.Printf("%6s %28s %9s %s\n", "step", "walker position", "degree(0)", "skyline forwarding set of node 0")
+
+	prev := ""
+	for step := 0; step <= 10; step++ {
+		// March the walker along a line that passes right through the
+		// source's position.
+		t := float64(step)/10*4 - 2 // -2 .. +2
+		pos := mldcs.Pt(src.X+t, src.Y+0.3*t)
+		if err := g.MoveNode(walker, pos); err != nil {
+			log.Fatal(err)
+		}
+		set, err := mldcs.SelectForwarders(g, 0, sky)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur := fmt.Sprint(set)
+		marker := " "
+		if cur != prev {
+			marker = "*" // the forwarding set changed this step
+		}
+		fmt.Printf("%5d%s (%6.2f, %6.2f) %16d   %v\n",
+			step, marker, pos.X, pos.Y, g.Degree(0), set)
+		prev = cur
+	}
+	fmt.Println()
+	fmt.Println("each step is one incremental MoveNode (~100× cheaper than a rebuild);")
+	fmt.Println("* marks steps where the source's minimum local disk cover set changed.")
+}

@@ -1,0 +1,61 @@
+// Quickstart: compute the minimum local disk cover set of a node's
+// neighborhood and inspect the skyline it is derived from.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A node ("the hub") with transmission radius 1.2, and six 1-hop
+	// neighbors with heterogeneous radii. Every neighbor is within
+	// min(r_hub, r_i) of the hub — the paper's bidirectional link model.
+	hub := mldcs.NewDisk(0, 0, 1.2)
+	neighbors := []mldcs.Disk{
+		mldcs.NewDisk(0.9, 0.2, 1.6),   // 0: pokes far out east
+		mldcs.NewDisk(-0.4, 0.8, 1.3),  // 1: northwest
+		mldcs.NewDisk(-0.8, -0.3, 1.1), // 2: west
+		mldcs.NewDisk(0.2, -0.9, 1.4),  // 3: south
+		mldcs.NewDisk(0.1, 0.1, 1.0),   // 4: small, near the hub — likely covered
+		mldcs.NewDisk(0.3, 0.4, 1.0),   // 5: small — likely covered
+	}
+
+	// The minimum local disk cover set (Theorem 3: the skyline set).
+	// Indices: 0 is the hub itself, i ≥ 1 is neighbors[i-1].
+	cover, err := mldcs.CoverSet(hub, neighbors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimum local disk cover set: %v (%d of %d disks)\n",
+		cover, len(cover), len(neighbors)+1)
+
+	// The forwarding set: the neighbors the hub asks to relay a broadcast.
+	// The hub's own arcs are already covered by its original transmission.
+	fwd, err := mldcs.ForwardingSet(hub, neighbors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forwarding set (neighbor indices): %v\n", fwd)
+
+	// The skyline itself: the boundary of the union of all seven disks,
+	// as arcs around the hub. Each arc names the disk that forms that
+	// stretch of the boundary.
+	all := append([]mldcs.Disk{hub}, neighbors...)
+	sl, err := mldcs.ComputeSkyline(hub.C, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skyline has %d arcs:\n", sl.ArcCount())
+	for _, a := range sl {
+		fmt.Printf("  %v\n", a)
+	}
+
+	// Sanity: by Theorem 3 the cover is exactly the set of disks that
+	// appear in the skyline.
+	fmt.Printf("skyline set: %v (must equal the cover set)\n", sl.Set())
+}

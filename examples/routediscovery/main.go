@@ -1,0 +1,76 @@
+// Route discovery demo: the paper motivates efficient broadcasting with
+// route finding. Flood a route request from the center node to several
+// far-away destinations under different relaying policies and compare the
+// discovery cost (RREQ transmissions) and the route stretch.
+//
+//	go run ./examples/routediscovery [seed]
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro"
+)
+
+func main() {
+	seed := int64(11)
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseInt(os.Args[1], 10, 64)
+		if err != nil {
+			log.Fatalf("bad seed %q: %v", os.Args[1], err)
+		}
+		seed = s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes, err := mldcs.PaperDeployment("heterogeneous", 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d nodes; source is node 0 at the center\n\n", g.Len())
+
+	// A few spread-out destinations.
+	dests := []int{}
+	for d := 1; d < g.Len() && len(dests) < 5; d += g.Len() / 5 {
+		dests = append(dests, d)
+	}
+
+	policies := []struct {
+		name string
+		sel  mldcs.Selector
+	}{{"flooding", nil}}
+	for _, name := range []string{"skyline", "greedy", "repair"} {
+		sel, err := mldcs.SelectorByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = append(policies, struct {
+			name string
+			sel  mldcs.Selector
+		}{name, sel})
+	}
+
+	fmt.Printf("%-10s %6s %8s %6s %9s %8s\n", "policy", "dest", "found", "hops", "optimal", "cost")
+	for _, p := range policies {
+		for _, dest := range dests {
+			r, err := mldcs.DiscoverRoute(g, 0, dest, p.sel)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %6d %8v %6d %9d %8d\n",
+				p.name, dest, r.Found, r.Hops(), r.Optimal, r.Cost)
+		}
+		fmt.Println()
+	}
+	fmt.Println("cost = RREQ transmissions for one discovery flood.")
+	fmt.Println("skyline may miss routes in heterogeneous networks (the §5.2 drawback);")
+	fmt.Println("greedy and repair always find a route when one exists, at a fraction")
+	fmt.Println("of flooding's cost.")
+}

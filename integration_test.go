@@ -1,0 +1,177 @@
+package mldcs_test
+
+// End-to-end integration: one test that drives the full pipeline the way
+// the paper's evaluation does — deploy, build the graph, select forwarding
+// sets with every algorithm, verify the MLDCS semantics against the
+// geometry, broadcast, and discover routes — asserting the cross-layer
+// invariants that individual package tests cannot see together.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	for _, model := range []string{"homogeneous", "heterogeneous"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			nodes, err := mldcs.PaperDeployment(model, 10, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// 1. The skyline forwarding set of the source must equal the
+			// geometric MLDCS of its neighborhood.
+			skySel, err := mldcs.SelectorByName("skyline")
+			if err != nil {
+				t.Fatal(err)
+			}
+			skySet, err := mldcs.SelectForwarders(g, 0, skySel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub := g.Node(0).Disk()
+			nbrIDs := g.Neighbors(0)
+			nbrDisks := make([]mldcs.Disk, len(nbrIDs))
+			for i, id := range nbrIDs {
+				nbrDisks[i] = g.Node(id).Disk()
+			}
+			fromGeometry, err := mldcs.ForwardingSet(hub, nbrDisks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			asIDs := make([]int, len(fromGeometry))
+			for i, idx := range fromGeometry {
+				asIDs[i] = nbrIDs[idx]
+			}
+			if len(asIDs) != len(skySet) {
+				t.Fatalf("%s seed %d: selector %v vs geometric MLDCS %v", model, seed, skySet, asIDs)
+			}
+			for i := range asIDs {
+				if asIDs[i] != skySet[i] {
+					t.Fatalf("%s seed %d: selector %v vs geometric MLDCS %v", model, seed, skySet, asIDs)
+				}
+			}
+
+			// 2. The union of the forwarding disks (plus the hub's) must
+			// cover the union of all neighborhood disks: compare exact
+			// areas through the public API.
+			all := append([]mldcs.Disk{hub}, nbrDisks...)
+			fullArea, err := mldcs.UnionArea(hub.C, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coverIdx, err := mldcs.CoverSet(hub, nbrDisks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coverDisks := make([]mldcs.Disk, 0, len(coverIdx))
+			for _, i := range coverIdx {
+				coverDisks = append(coverDisks, all[i])
+			}
+			coverArea, err := mldcs.UnionArea(hub.C, coverDisks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := fullArea - coverArea; diff > 1e-6*fullArea || diff < -1e-6*fullArea {
+				t.Fatalf("%s seed %d: cover area %.9f != full area %.9f", model, seed, coverArea, fullArea)
+			}
+
+			// 3. Every cover-guaranteeing selector yields a complete
+			// broadcast; transmissions are ordered flooding ≥ repair ≥ ...
+			// not strictly, but all are ≤ flooding.
+			flood, err := mldcs.Broadcast(g, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flood.DeliveryRatio() != 1 {
+				t.Fatalf("%s seed %d: flooding incomplete", model, seed)
+			}
+			for _, name := range []string{"greedy", "repair"} {
+				sel, err := mldcs.SelectorByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := mldcs.Broadcast(g, 0, sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.DeliveryRatio() != 1 {
+					t.Fatalf("%s seed %d: %s broadcast incomplete", model, seed, name)
+				}
+				if res.Transmissions > flood.Transmissions {
+					t.Fatalf("%s seed %d: %s uses more transmissions than flooding", model, seed, name)
+				}
+				if res.TxEnergy(g) > flood.TxEnergy(g) {
+					t.Fatalf("%s seed %d: %s uses more energy than flooding", model, seed, name)
+				}
+			}
+
+			// 4. Route discovery through the greedy policy finds a valid
+			// route to every reachable node probed.
+			grd, _ := mldcs.SelectorByName("greedy")
+			for dest := 1; dest < g.Len(); dest += 97 {
+				r, err := mldcs.DiscoverRoute(g, 0, dest, grd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Found {
+					if err := r.Validate(g, 0, dest); err != nil {
+						t.Fatalf("%s seed %d: %v", model, seed, err)
+					}
+				}
+			}
+
+			// 5. In homogeneous networks the skyline broadcast must also be
+			// complete (no §5.2 drawback there).
+			if model == "homogeneous" {
+				res, err := mldcs.Broadcast(g, 0, skySel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.DeliveryRatio() != 1 {
+					t.Fatalf("seed %d: homogeneous skyline broadcast incomplete", seed)
+				}
+			}
+		}
+	}
+}
+
+// The experiment layer and the direct API must agree: Fig5.1's flooding
+// curve equals the measured mean source degree.
+func TestExperimentConsistency(t *testing.T) {
+	cfg := mldcs.ExperimentConfig{Replications: 20, Seed: 5, Workers: 4, Degrees: []float64{8}}
+	fig, err := mldcs.RunExperiment("fig5.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var floodMean float64
+	for _, s := range fig.Series {
+		if s.Label == "flooding" {
+			floodMean = s.Y[0]
+		}
+	}
+	sum := 0.0
+	for rep := 0; rep < cfg.Replications; rep++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
+		nodes, err := mldcs.PaperDeployment("homogeneous", 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(g.Degree(0))
+	}
+	want := sum / float64(cfg.Replications)
+	if diff := floodMean - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fig5.1 flooding mean %v != directly measured %v", floodMean, want)
+	}
+}

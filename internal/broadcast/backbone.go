@@ -1,0 +1,62 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// RunWithBackbone simulates a backbone broadcast: the source transmits,
+// and thereafter only members of the backbone set (typically a connected
+// dominating set) relay on first reception. With a CDS backbone every
+// reachable node receives: each node is dominated by a member and the
+// member subgraph is connected.
+func RunWithBackbone(g *network.Graph, source int, backbone []int) (Result, error) {
+	if source < 0 || source >= g.Len() {
+		return Result{}, fmt.Errorf("broadcast: source %d out of range [0, %d)", source, g.Len())
+	}
+	in := make([]bool, g.Len())
+	for _, v := range backbone {
+		if v < 0 || v >= g.Len() {
+			return Result{}, fmt.Errorf("broadcast: backbone node %d out of range", v)
+		}
+		in[v] = true
+	}
+
+	res := Result{Received: make([]bool, g.Len())}
+	for _, d := range g.HopDistances(source) {
+		if d > 0 {
+			res.Reachable++
+		}
+	}
+	type pending struct {
+		node, hop int
+	}
+	frontier := []pending{{source, 0}}
+	res.Received[source] = true
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		var next []pending
+		for _, tx := range frontier {
+			res.Transmissions++
+			for _, v := range g.Neighbors(tx.node) {
+				if res.Received[v] {
+					res.Redundant++
+					continue
+				}
+				res.Received[v] = true
+				res.Delivered++
+				hop := tx.hop + 1
+				if hop > res.MaxHop {
+					res.MaxHop = hop
+				}
+				if in[v] {
+					next = append(next, pending{v, hop})
+				}
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+func TestRunWithBackboneChain(t *testing.T) {
+	g := chainGraph(t, 5)
+	// Backbone = interior nodes: full delivery.
+	res, err := RunWithBackbone(g, 0, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio() != 1 {
+		t.Errorf("delivery = %v", res.DeliveryRatio())
+	}
+	if res.Transmissions != 4 { // source + 3 backbone nodes
+		t.Errorf("Transmissions = %d, want 4", res.Transmissions)
+	}
+	// An insufficient backbone strands the tail.
+	res, err = RunWithBackbone(g, 0, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received[4] || res.DeliveryRatio() >= 1 {
+		t.Errorf("truncated backbone should strand node 4: %+v", res)
+	}
+	if _, err := RunWithBackbone(g, -1, nil); err == nil {
+		t.Error("bad source must fail")
+	}
+	if _, err := RunWithBackbone(g, 0, []int{-3}); err == nil {
+		t.Error("bad backbone member must fail")
+	}
+}
+
+func TestTxEnergy(t *testing.T) {
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 2},   // energy 4
+		{ID: 1, Pos: geom.Pt(1, 0), Radius: 1.5}, // energy 2.25
+		{ID: 2, Pos: geom.Pt(2, 0), Radius: 1.5},
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three transmit under flooding: 4 + 2.25 + 2.25.
+	if got, want := res.TxEnergy(g), 8.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TxEnergy = %v, want %v", got, want)
+	}
+	// A result without transmitter tracking reports zero.
+	var empty Result
+	if empty.TxEnergy(g) != 0 {
+		t.Error("untracked result must report zero energy")
+	}
+}
+
+func TestDeliveryRatioEmpty(t *testing.T) {
+	var r Result
+	if r.DeliveryRatio() != 1 {
+		t.Error("no reachable nodes → ratio 1 by convention")
+	}
+}

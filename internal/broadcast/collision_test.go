@@ -1,0 +1,115 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+func TestCollisionChainNoCollisions(t *testing.T) {
+	// On a chain only one node transmits per slot: no collisions, full
+	// delivery, identical to the collision-free simulation.
+	g := chainGraph(t, 6)
+	res, err := RunWithCollisions(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 {
+		t.Errorf("chain flooding collisions = %d, want 0", res.Collisions)
+	}
+	if res.DeliveryRatio() != 1 {
+		t.Errorf("delivery = %v", res.DeliveryRatio())
+	}
+	plain, err := Run(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != plain.Transmissions || res.Delivered != plain.Delivered {
+		t.Errorf("collision-free chain should match plain simulation: %+v vs %+v",
+			res.Result, plain)
+	}
+}
+
+func TestCollisionStarJamsMiddle(t *testing.T) {
+	// Two relays equidistant from a common 2-hop node: after the source's
+	// slot both relay simultaneously and jam the far node.
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 1},      // source
+		{ID: 1, Pos: geom.Pt(0.8, 0.5), Radius: 1},  // relay A
+		{ID: 2, Pos: geom.Pt(0.8, -0.5), Radius: 1}, // relay B
+		{ID: 3, Pos: geom.Pt(1.6, 0), Radius: 1},    // victim: hears both
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWithCollisions(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("expected a collision at the victim node")
+	}
+	if res.Received[3] {
+		t.Error("victim must be jammed under flooding")
+	}
+	if res.DeliveryRatio() >= 1 {
+		t.Errorf("delivery = %v, want < 1", res.DeliveryRatio())
+	}
+}
+
+// The storm thesis under collisions: forwarding-set relaying loses less
+// coverage than flooding because fewer simultaneous relays fire. Compare
+// totals over several random heterogeneous networks.
+func TestForwardingSetsReduceCollisionDamage(t *testing.T) {
+	var floodDelivered, greedyDelivered, floodCollisions, greedyCollisions int
+	for seed := int64(0); seed < 10; seed++ {
+		g := paperGraph(t, deploy.Heterogeneous, 12, 1000+seed)
+		flood, err := RunWithCollisions(g, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := RunWithCollisions(g, 0, forwarding.Greedy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		floodDelivered += flood.Delivered
+		greedyDelivered += grd.Delivered
+		floodCollisions += flood.Collisions
+		greedyCollisions += grd.Collisions
+	}
+	if greedyCollisions >= floodCollisions {
+		t.Errorf("greedy collisions %d should be below flooding %d",
+			greedyCollisions, floodCollisions)
+	}
+	if greedyDelivered <= floodDelivered {
+		t.Errorf("greedy delivered %d should exceed flooding %d under collisions",
+			greedyDelivered, floodDelivered)
+	}
+}
+
+func TestCollisionSourceValidation(t *testing.T) {
+	g := chainGraph(t, 3)
+	if _, err := RunWithCollisions(g, 7, nil); err == nil {
+		t.Error("out-of-range source must fail")
+	}
+}
+
+func TestCollisionDeterministic(t *testing.T) {
+	g := paperGraph(t, deploy.Homogeneous, 10, 1100)
+	a, err := RunWithCollisions(g, 0, forwarding.Skyline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithCollisions(g, 0, forwarding.Skyline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transmissions != b.Transmissions || a.Delivered != b.Delivered ||
+		a.Collisions != b.Collisions {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,103 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// RunNeighborElimination simulates the neighbor-elimination scheme
+// (Stojmenovic, Seddigh & Zunic, the paper's reference [13]): a node that
+// receives the packet delays its own relay by one round, observes the
+// transmissions it can overhear in the meantime, eliminates from its
+// responsibility every neighbor covered by an overheard transmission, and
+// relays only if some neighbor remains unaccounted for. Unlike dominant
+// pruning, the decision needs no forward lists in packets — only each
+// node's 1-hop table and promiscuous listening.
+func RunNeighborElimination(g *network.Graph, source int) (Result, error) {
+	if source < 0 || source >= g.Len() {
+		return Result{}, fmt.Errorf("broadcast: source %d out of range [0, %d)", source, g.Len())
+	}
+	res := Result{Received: make([]bool, g.Len())}
+	for _, d := range g.HopDistances(source) {
+		if d > 0 {
+			res.Reachable++
+		}
+	}
+
+	// uncovered[v] tracks the neighbors v still feels responsible for;
+	// initialized lazily when v first receives.
+	uncovered := make([]map[int]bool, g.Len())
+	received := res.Received
+	received[source] = true
+
+	// The source transmits unconditionally in round 0.
+	transmitters := []int{source}
+	// pending[v] is true when v has scheduled a (possibly eliminated)
+	// relay for the next round.
+	var pending []int
+	hop := make([]int, g.Len())
+
+	for len(transmitters) > 0 {
+		sort.Ints(transmitters)
+		// Deliver this round's transmissions and update elimination state
+		// of every node that overhears them.
+		newlyReceived := []int{}
+		for _, tx := range transmitters {
+			res.Transmissions++
+			for _, v := range g.Neighbors(tx) {
+				if !received[v] {
+					received[v] = true
+					res.Delivered++
+					hop[v] = hop[tx] + 1
+					if hop[v] > res.MaxHop {
+						res.MaxHop = hop[v]
+					}
+					newlyReceived = append(newlyReceived, v)
+					uncovered[v] = make(map[int]bool, g.Degree(v))
+					for _, w := range g.Neighbors(v) {
+						uncovered[v][w] = true
+					}
+				} else {
+					res.Redundant++
+				}
+			}
+		}
+		// Every node that can hear a transmitter eliminates the
+		// transmitter's closed neighborhood from its responsibility.
+		for _, tx := range transmitters {
+			for _, v := range g.Neighbors(tx) {
+				if uncovered[v] == nil {
+					continue
+				}
+				delete(uncovered[v], tx)
+				for _, w := range g.Neighbors(tx) {
+					delete(uncovered[v], w)
+				}
+			}
+		}
+		// Nodes that received earlier and waited one round now decide.
+		var next []int
+		for _, v := range pending {
+			if len(uncovered[v]) > 0 {
+				next = append(next, v)
+			}
+		}
+		// Nodes that received this round wait one round (they become
+		// pending), giving them a chance to overhear eliminations.
+		pending = newlyReceived
+		transmitters = next
+		// Termination: if nobody transmits but nodes are still pending,
+		// flush them through one final decision round.
+		if len(transmitters) == 0 && len(pending) > 0 {
+			for _, v := range pending {
+				if len(uncovered[v]) > 0 {
+					transmitters = append(transmitters, v)
+				}
+			}
+			pending = nil
+		}
+	}
+	return res, nil
+}

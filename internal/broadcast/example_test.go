@@ -1,0 +1,65 @@
+package broadcast_test
+
+import (
+	"fmt"
+
+	"repro/internal/broadcast"
+	"repro/internal/forwarding"
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+func chain(n int) *network.Graph {
+	nodes := make([]network.Node, n)
+	for i := range nodes {
+		nodes[i] = network.Node{ID: i, Pos: geom.Pt(float64(i), 0), Radius: 1.2}
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// A flooding broadcast on a 5-node chain: everyone relays once.
+func ExampleRun() {
+	g := chain(5)
+	res, err := broadcast.Run(g, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tx=%d delivered=%d/%d maxhop=%d\n",
+		res.Transmissions, res.Delivered, res.Reachable, res.MaxHop)
+	// Output: tx=5 delivered=4/4 maxhop=4
+}
+
+// With the greedy forwarding sets the chain's last node does not relay
+// (it has no 2-hop neighbors to cover).
+func ExampleRun_forwardingSet() {
+	g := chain(5)
+	res, err := broadcast.Run(g, 0, forwarding.Greedy{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tx=%d delivered=%d/%d\n", res.Transmissions, res.Delivered, res.Reachable)
+	// Output: tx=4 delivered=4/4
+}
+
+// Self-pruning on a clique: the source's transmission covers everyone, so
+// every receiver suppresses its relay.
+func ExampleRunSelfPruning() {
+	nodes := make([]network.Node, 4)
+	for i := range nodes {
+		nodes[i] = network.Node{ID: i, Pos: geom.Pt(float64(i)*0.1, 0), Radius: 5}
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		panic(err)
+	}
+	res, err := broadcast.RunSelfPruning(g, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tx=%d delivered=%d/%d\n", res.Transmissions, res.Delivered, res.Reachable)
+	// Output: tx=1 delivered=3/3
+}

@@ -1,0 +1,118 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/forwarding"
+	"repro/internal/network"
+)
+
+// Lossy-link simulation: the disk model treats every link inside the
+// radius as perfect, but real radios fade near the edge of their range.
+// RunLossy makes each reception an independent Bernoulli trial whose
+// success probability depends on the distance relative to the
+// transmitter's radius. Forwarding-set schemes were engineered for
+// reliable links — each 2-hop neighbor is covered by exactly one chosen
+// relay — so losses cost them coverage, while flooding's redundancy buys
+// robustness. The lossy experiment quantifies that trade.
+
+// LossModel maps the distance/radius ratio q = d/r ∈ [0, 1] of a link to
+// its reception probability.
+type LossModel func(q float64) float64
+
+// FringeLoss returns the standard "reliable core, linear fringe" model:
+// receptions within core·r always succeed, and the success probability
+// falls linearly from 1 to edge as the distance grows from core·r to r.
+func FringeLoss(core, edge float64) LossModel {
+	return func(q float64) float64 {
+		if q <= core {
+			return 1
+		}
+		if q >= 1 {
+			return edge
+		}
+		frac := (q - core) / (1 - core)
+		return 1 - frac*(1-edge)
+	}
+}
+
+// RunLossy simulates a broadcast where each reception succeeds with the
+// loss model's probability (evaluated per transmitter–receiver pair, per
+// transmission). fwd may be nil for blind flooding. The rng makes runs
+// reproducible.
+func RunLossy(g *network.Graph, source int, fwd forwarding.Selector, loss LossModel, rng *rand.Rand) (Result, error) {
+	if source < 0 || source >= g.Len() {
+		return Result{}, fmt.Errorf("broadcast: source %d out of range [0, %d)", source, g.Len())
+	}
+	if loss == nil {
+		return Result{}, fmt.Errorf("broadcast: nil loss model")
+	}
+	selGraph := g
+	if fwd != nil && g.Model() == network.Unidirectional {
+		bi, err := network.Build(g.Nodes(), network.Bidirectional)
+		if err != nil {
+			return Result{}, err
+		}
+		selGraph = bi
+	}
+
+	res := Result{Received: make([]bool, g.Len())}
+	for _, d := range g.HopDistances(source) {
+		if d > 0 {
+			res.Reachable++
+		}
+	}
+	type pending struct {
+		node, hop int
+	}
+	frontier := []pending{{source, 0}}
+	res.Received[source] = true
+
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		type arrival struct{ to, from, hop int }
+		var arrivals []arrival
+		for _, tx := range frontier {
+			res.Transmissions++
+			txNode := g.Node(tx.node)
+			for _, v := range g.Neighbors(tx.node) {
+				q := txNode.Pos.Dist(g.Node(v).Pos) / txNode.Radius
+				if rng.Float64() >= loss(q) {
+					continue // frame lost on this link
+				}
+				if res.Received[v] {
+					res.Redundant++
+					continue
+				}
+				arrivals = append(arrivals, arrival{v, tx.node, tx.hop + 1})
+			}
+		}
+		var next []pending
+		for _, a := range arrivals {
+			if res.Received[a.to] {
+				res.Redundant++
+				continue
+			}
+			res.Received[a.to] = true
+			res.Delivered++
+			if a.hop > res.MaxHop {
+				res.MaxHop = a.hop
+			}
+			relay := true
+			if fwd != nil {
+				set, err := fwd.Select(selGraph, a.from)
+				if err != nil {
+					return Result{}, err
+				}
+				relay = containsID(set, a.to)
+			}
+			if relay {
+				next = append(next, pending{a.to, a.hop})
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}

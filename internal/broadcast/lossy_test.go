@@ -1,0 +1,100 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+)
+
+func TestFringeLossShape(t *testing.T) {
+	loss := FringeLoss(0.7, 0.2)
+	if got := loss(0); got != 1 {
+		t.Errorf("loss(0) = %v", got)
+	}
+	if got := loss(0.7); got != 1 {
+		t.Errorf("loss at core = %v, want 1", got)
+	}
+	if got := loss(1); got != 0.2 {
+		t.Errorf("loss at edge = %v, want 0.2", got)
+	}
+	if got := loss(1.5); got != 0.2 {
+		t.Errorf("loss beyond edge = %v, want 0.2 (clamped)", got)
+	}
+	mid := loss(0.85)
+	if mid <= 0.2 || mid >= 1 {
+		t.Errorf("fringe midpoint = %v, want strictly between", mid)
+	}
+}
+
+// With a lossless model, RunLossy must reproduce Run exactly.
+func TestRunLossyPerfectMatchesRun(t *testing.T) {
+	g := paperGraph(t, deploy.Heterogeneous, 10, 2000)
+	perfect := FringeLoss(1, 1)
+	for _, sel := range []forwarding.Selector{nil, forwarding.Greedy{}} {
+		a, err := RunLossy(g, 0, sel, perfect, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(g, 0, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Transmissions != b.Transmissions || a.Delivered != b.Delivered {
+			t.Fatalf("perfect-channel lossy run diverges: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// Under edge fading, flooding's redundancy must deliver more than the
+// single-path forwarding-set schemes (aggregated over repetitions).
+func TestLossyFloodingMoreRobust(t *testing.T) {
+	var floodDel, greedyDel int
+	loss := FringeLoss(0.5, 0.1)
+	for seed := int64(0); seed < 15; seed++ {
+		g := paperGraph(t, deploy.Heterogeneous, 10, 2100+seed)
+		rngA := rand.New(rand.NewSource(7 * seed))
+		rngB := rand.New(rand.NewSource(7 * seed))
+		flood, err := RunLossy(g, 0, nil, loss, rngA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := RunLossy(g, 0, forwarding.Greedy{}, loss, rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floodDel += flood.Delivered
+		greedyDel += grd.Delivered
+	}
+	if floodDel <= greedyDel {
+		t.Errorf("flooding delivered %d ≤ greedy %d under fading — redundancy should win",
+			floodDel, greedyDel)
+	}
+}
+
+func TestRunLossyDeterministicPerSeed(t *testing.T) {
+	g := paperGraph(t, deploy.Homogeneous, 8, 2200)
+	loss := FringeLoss(0.6, 0.3)
+	a, err := RunLossy(g, 0, nil, loss, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLossy(g, 0, nil, loss, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Redundant != b.Redundant {
+		t.Error("same seed must reproduce the same outcome")
+	}
+}
+
+func TestRunLossyValidation(t *testing.T) {
+	g := chainGraph(t, 3)
+	if _, err := RunLossy(g, 9, nil, FringeLoss(1, 1), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad source must fail")
+	}
+	if _, err := RunLossy(g, 0, nil, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("nil loss model must fail")
+	}
+}

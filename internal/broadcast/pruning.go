@@ -1,0 +1,186 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/network"
+)
+
+// Sender-aware pruning broadcasts, after Lou & Wu ("On Reducing Broadcast
+// Redundancy in Ad Hoc Wireless Networks", the paper's reference [9]).
+// Unlike the static multipoint-relay semantics of Run — where node u's
+// forwarding set depends only on u — dominant pruning picks the forward
+// list per packet, exploiting what the previous hop's transmission already
+// covered:
+//
+//   - Partial dominant pruning (PDP): when v relays a packet received from
+//     u, its forward list only needs to cover N₂(v) \ (N(u) ∪ N(v)) — the
+//     2-hop neighbors that neither u's transmission nor v's own can have
+//     reached.
+//   - Total dominant pruning (TDP): the forward list covers
+//     N₂(v) \ (N(u) ∪ N(v) ∪ N₂(u)∩N(v)…) — in Lou & Wu's formulation,
+//     N₂(v) \ N₂[u] where N₂[u] is u's closed 2-hop coverage, assuming the
+//     packet carries u's 2-hop list. TDP prunes more at the cost of
+//     shipping 2-hop lists in packets.
+//
+// Both pick the cover greedily (Chvátal) like the MPR heuristic.
+
+// PruningMode selects the dominant-pruning variant.
+type PruningMode int
+
+const (
+	// PDP is partial dominant pruning: the sender's 1-hop set is excluded
+	// from the receiver's cover target.
+	PDP PruningMode = iota
+	// TDP is total dominant pruning: the sender's closed 2-hop set is
+	// excluded (the packet carries the sender's 2-hop list).
+	TDP
+)
+
+// String implements fmt.Stringer.
+func (m PruningMode) String() string {
+	if m == PDP {
+		return "pdp"
+	}
+	return "tdp"
+}
+
+// RunDominantPruning simulates a broadcast with per-packet forward lists.
+// When a node v first receives the packet from sender u, v computes a
+// greedy cover of its pruned 2-hop target and piggybacks that forward
+// list; only listed nodes relay further.
+func RunDominantPruning(g *network.Graph, source int, mode PruningMode) (Result, error) {
+	if source < 0 || source >= g.Len() {
+		return Result{}, fmt.Errorf("broadcast: source %d out of range [0, %d)", source, g.Len())
+	}
+	res := Result{Received: make([]bool, g.Len())}
+	for _, d := range g.HopDistances(source) {
+		if d > 0 {
+			res.Reachable++
+		}
+	}
+
+	type packet struct {
+		node    int // the transmitter
+		sender  int // whom the transmitter first heard from (-1 for source)
+		hop     int
+		forward []int // forward list chosen by the transmitter
+	}
+	first := packet{node: source, sender: -1, hop: 0}
+	first.forward = pruneForwardList(g, source, -1, mode)
+	frontier := []packet{first}
+	res.Received[source] = true
+
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		type arrival struct {
+			to  int
+			pkt packet
+		}
+		var arrivals []arrival
+		for _, tx := range frontier {
+			res.Transmissions++
+			for _, v := range g.Neighbors(tx.node) {
+				if res.Received[v] {
+					res.Redundant++
+					continue
+				}
+				arrivals = append(arrivals, arrival{v, tx})
+			}
+		}
+		var next []packet
+		for _, a := range arrivals {
+			if res.Received[a.to] {
+				res.Redundant++
+				continue
+			}
+			res.Received[a.to] = true
+			res.Delivered++
+			hop := a.pkt.hop + 1
+			if hop > res.MaxHop {
+				res.MaxHop = hop
+			}
+			if containsID(a.pkt.forward, a.to) {
+				next = append(next, packet{
+					node:    a.to,
+					sender:  a.pkt.node,
+					hop:     hop,
+					forward: pruneForwardList(g, a.to, a.pkt.node, mode),
+				})
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// pruneForwardList computes v's forward list for a packet received from
+// sender (−1 when v is the source): a greedy cover, by v's 1-hop
+// neighbors, of the pruned 2-hop target set.
+func pruneForwardList(g *network.Graph, v, sender int, mode PruningMode) []int {
+	// Target: 2-hop neighbors of v ...
+	exclude := make(map[int]bool)
+	exclude[v] = true
+	for _, w := range g.Neighbors(v) {
+		exclude[w] = true
+	}
+	if sender >= 0 {
+		// ... minus what the sender's transmission already covered.
+		exclude[sender] = true
+		for _, w := range g.Neighbors(sender) {
+			exclude[w] = true
+		}
+		if mode == TDP {
+			// TDP: the packet carried the sender's 2-hop list; those nodes
+			// are covered by the sender's own forward list.
+			for _, w := range g.TwoHop(sender) {
+				exclude[w] = true
+			}
+		}
+	}
+	var target []int
+	for _, t := range g.TwoHop(v) {
+		if !exclude[t] {
+			target = append(target, t)
+		}
+	}
+	if len(target) == 0 {
+		return nil
+	}
+	bit := make(map[int]int, len(target))
+	for i, t := range target {
+		bit[t] = i
+	}
+	nbrs := g.Neighbors(v)
+	masks := make([]*bitset.Set, len(nbrs))
+	for i, w := range nbrs {
+		m := bitset.New(len(target))
+		for _, t := range g.Neighbors(w) {
+			if b, ok := bit[t]; ok {
+				m.Add(b)
+			}
+		}
+		masks[i] = m
+	}
+	uncovered := bitset.New(len(target))
+	uncovered.Fill()
+	var out []int
+	for !uncovered.Empty() {
+		bestGain, best := 0, -1
+		for i := range nbrs {
+			gain := masks[i].Count() - masks[i].CountAndNot(uncovered)
+			if gain > bestGain {
+				bestGain, best = gain, i
+			}
+		}
+		if best < 0 {
+			break // residual target unreachable via v (covered by sender's relays)
+		}
+		out = append(out, nbrs[best])
+		uncovered.AndNotWith(masks[best])
+	}
+	sort.Ints(out)
+	return out
+}

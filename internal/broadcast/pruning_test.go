@@ -1,0 +1,125 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+)
+
+func TestPruningModeString(t *testing.T) {
+	if PDP.String() != "pdp" || TDP.String() != "tdp" {
+		t.Error("PruningMode.String mismatch")
+	}
+}
+
+func TestDominantPruningChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	for _, mode := range []PruningMode{PDP, TDP} {
+		res, err := RunDominantPruning(g, 0, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeliveryRatio() != 1 {
+			t.Errorf("%v: delivery %v on a chain", mode, res.DeliveryRatio())
+		}
+		// On a chain, only nodes with a further 2-hop target relay: 0..4.
+		if res.Transmissions > 5 {
+			t.Errorf("%v: %d transmissions on a 6-chain, want ≤ 5", mode, res.Transmissions)
+		}
+	}
+}
+
+// Dominant pruning must always deliver everywhere and use no more
+// transmissions than the static greedy-MPR scheme; TDP prunes at least as
+// hard as PDP on aggregate.
+func TestDominantPruningDeliversAndPrunes(t *testing.T) {
+	var mprTx, pdpTx, tdpTx int
+	for seed := int64(0); seed < 10; seed++ {
+		for _, model := range []deploy.RadiusModel{deploy.Homogeneous, deploy.Heterogeneous} {
+			g := paperGraph(t, model, 10, 1200+seed)
+			pdp, err := RunDominantPruning(g, 0, PDP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tdp, err := RunDominantPruning(g, 0, TDP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []Result{pdp, tdp} {
+				if r.DeliveryRatio() != 1 {
+					t.Fatalf("%v seed %d: delivery %v (delivered %d of %d)",
+						model, seed, r.DeliveryRatio(), r.Delivered, r.Reachable)
+				}
+			}
+			mpr, err := Run(g, 0, forwarding.Greedy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mprTx += mpr.Transmissions
+			pdpTx += pdp.Transmissions
+			tdpTx += tdp.Transmissions
+		}
+	}
+	// Pruning is not a per-instance dominance (greedy choices differ), but
+	// on aggregate the dynamic schemes must stay in the same band as the
+	// static MPR scheme and TDP must prune at least as hard as PDP.
+	if float64(pdpTx) > 1.05*float64(mprTx) {
+		t.Errorf("PDP total transmissions %d far exceed static greedy MPR %d", pdpTx, mprTx)
+	}
+	if float64(tdpTx) > 1.02*float64(pdpTx) {
+		t.Errorf("TDP total transmissions %d exceed PDP %d", tdpTx, pdpTx)
+	}
+}
+
+func TestDominantPruningSourceValidation(t *testing.T) {
+	g := chainGraph(t, 3)
+	if _, err := RunDominantPruning(g, -1, PDP); err == nil {
+		t.Error("negative source must fail")
+	}
+}
+
+func TestNeighborEliminationChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	res, err := RunNeighborElimination(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio() != 1 {
+		t.Errorf("delivery = %v", res.DeliveryRatio())
+	}
+}
+
+func TestNeighborEliminationAlwaysDelivers(t *testing.T) {
+	var elimTx, floodTx int
+	for seed := int64(0); seed < 10; seed++ {
+		for _, model := range []deploy.RadiusModel{deploy.Homogeneous, deploy.Heterogeneous} {
+			g := paperGraph(t, model, 10, 1300+seed)
+			res, err := RunNeighborElimination(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeliveryRatio() != 1 {
+				t.Fatalf("%v seed %d: delivery %v (delivered %d of %d)",
+					model, seed, res.DeliveryRatio(), res.Delivered, res.Reachable)
+			}
+			flood, err := Run(g, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elimTx += res.Transmissions
+			floodTx += flood.Transmissions
+		}
+	}
+	if elimTx >= floodTx {
+		t.Errorf("neighbor elimination %d transmissions should undercut flooding %d",
+			elimTx, floodTx)
+	}
+}
+
+func TestNeighborEliminationSourceValidation(t *testing.T) {
+	g := chainGraph(t, 3)
+	if _, err := RunNeighborElimination(g, 5); err == nil {
+		t.Error("out-of-range source must fail")
+	}
+}

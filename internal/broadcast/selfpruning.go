@@ -1,0 +1,83 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// RunSelfPruning simulates the neighbor-knowledge self-pruning broadcast
+// (the Wu–Li-style scheme the paper cites among alternative
+// storm-mitigation algorithms): a node that first receives the message
+// from p relays only if it has at least one neighbor not already covered
+// by p's transmission, i.e. N(v) ⊄ N(p) ∪ {p}. Unlike forwarding-set
+// (multipoint-relay) schemes, the decision is made by the receiver from
+// its own 1-hop table and the sender's 1-hop table (learned from HELLO
+// piggybacks) — no per-sender set selection is needed.
+//
+// Self-pruning always delivers to every reachable node under the
+// bidirectional model: a relay decision is suppressed only when the
+// sender's transmission already covered all of the receiver's neighbors.
+func RunSelfPruning(g *network.Graph, source int) (Result, error) {
+	if source < 0 || source >= g.Len() {
+		return Result{}, fmt.Errorf("broadcast: source %d out of range [0, %d)", source, g.Len())
+	}
+	res := Result{Received: make([]bool, g.Len())}
+	for _, d := range g.HopDistances(source) {
+		if d > 0 {
+			res.Reachable++
+		}
+	}
+
+	type pending struct {
+		node int
+		hop  int
+	}
+	frontier := []pending{{source, 0}}
+	res.Received[source] = true
+
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		type arrival struct{ to, from, hop int }
+		var arrivals []arrival
+		for _, tx := range frontier {
+			res.Transmissions++
+			for _, v := range g.Neighbors(tx.node) {
+				if res.Received[v] {
+					res.Redundant++
+					continue
+				}
+				arrivals = append(arrivals, arrival{v, tx.node, tx.hop + 1})
+			}
+		}
+		var next []pending
+		for _, a := range arrivals {
+			if res.Received[a.to] {
+				res.Redundant++
+				continue
+			}
+			res.Received[a.to] = true
+			res.Delivered++
+			if a.hop > res.MaxHop {
+				res.MaxHop = a.hop
+			}
+			if hasUncoveredNeighbor(g, a.to, a.from) {
+				next = append(next, pending{a.to, a.hop})
+			}
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// hasUncoveredNeighbor reports whether v has a neighbor that is neither p
+// nor a neighbor of p.
+func hasUncoveredNeighbor(g *network.Graph, v, p int) bool {
+	for _, w := range g.Neighbors(v) {
+		if w != p && !g.IsNeighbor(p, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+func TestSelfPruningChain(t *testing.T) {
+	g := chainGraph(t, 6)
+	res, err := RunSelfPruning(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveryRatio() != 1 {
+		t.Errorf("delivery = %v, want 1", res.DeliveryRatio())
+	}
+	// On a chain every interior node has an uncovered neighbor, so all but
+	// the last transmit.
+	if res.Transmissions != 5 {
+		t.Errorf("Transmissions = %d, want 5 (last node prunes)", res.Transmissions)
+	}
+}
+
+func TestSelfPruningDenseClique(t *testing.T) {
+	// A clique: the source covers everyone; every receiver prunes.
+	var nodes []network.Node
+	for i := 0; i < 6; i++ {
+		nodes = append(nodes, network.Node{
+			ID: i, Pos: geom.Pt(float64(i)*0.1, 0), Radius: 5,
+		})
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSelfPruning(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != 1 {
+		t.Errorf("Transmissions = %d, want 1 (everyone prunes in a clique)", res.Transmissions)
+	}
+	if res.DeliveryRatio() != 1 {
+		t.Errorf("delivery = %v", res.DeliveryRatio())
+	}
+}
+
+// Self-pruning must always deliver to every reachable node and never use
+// more transmissions than flooding.
+func TestSelfPruningAlwaysDelivers(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, model := range []deploy.RadiusModel{deploy.Homogeneous, deploy.Heterogeneous} {
+			g := paperGraph(t, model, 10, 900+seed)
+			res, err := RunSelfPruning(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeliveryRatio() != 1 {
+				t.Fatalf("%v seed %d: delivery %v (delivered %d of %d)",
+					model, seed, res.DeliveryRatio(), res.Delivered, res.Reachable)
+			}
+			flood, err := Run(g, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Transmissions > flood.Transmissions {
+				t.Fatalf("%v seed %d: self-pruning %d tx exceeds flooding %d",
+					model, seed, res.Transmissions, flood.Transmissions)
+			}
+		}
+	}
+}
+
+func TestSelfPruningSourceValidation(t *testing.T) {
+	g := chainGraph(t, 3)
+	if _, err := RunSelfPruning(g, -1); err == nil {
+		t.Error("negative source must fail")
+	}
+	if _, err := RunSelfPruning(g, 9); err == nil {
+		t.Error("out-of-range source must fail")
+	}
+}

@@ -1,0 +1,73 @@
+package deploy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// Trace I/O: deployments can be exported and re-imported as plain text so
+// experiments can run on externally produced topologies (testbed traces,
+// other simulators) and so specific random deployments can be archived
+// and replayed. The format is one node per line — "id x y radius" — with
+// '#' comments, matching the disk-list format of cmd/mldcscover extended
+// with an ID column.
+
+// WriteNodes writes the nodes in trace format.
+func WriteNodes(w io.Writer, nodes []network.Node) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# id x y radius")
+	for _, n := range nodes {
+		if _, err := fmt.Fprintf(bw, "%d %.17g %.17g %.17g\n", n.ID, n.Pos.X, n.Pos.Y, n.Radius); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNodes parses a trace written by WriteNodes (or by hand). IDs must be
+// dense and in order, as network.Build requires.
+func ReadNodes(r io.Reader) ([]network.Node, error) {
+	var nodes []network.Node
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("deploy: line %d: want \"id x y radius\", got %q", lineNo, line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("deploy: line %d: bad id %q: %v", lineNo, fields[0], err)
+		}
+		var vals [3]float64
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("deploy: line %d: bad number %q: %v", lineNo, f, err)
+			}
+			vals[i] = v
+		}
+		if id != len(nodes) {
+			return nil, fmt.Errorf("deploy: line %d: id %d out of order (want %d)", lineNo, id, len(nodes))
+		}
+		if !(vals[2] > 0) {
+			return nil, fmt.Errorf("deploy: line %d: radius %g must be positive", lineNo, vals[2])
+		}
+		nodes = append(nodes, network.Node{ID: id, Pos: geom.Pt(vals[0], vals[1]), Radius: vals[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}

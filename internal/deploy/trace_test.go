@@ -1,0 +1,91 @@
+package deploy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nodes, err := Generate(PaperConfig(Heterogeneous, 8), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteNodes(&buf, nodes); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNodes(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(nodes) {
+		t.Fatalf("round trip: %d nodes, want %d", len(got), len(nodes))
+	}
+	for i := range nodes {
+		if got[i] != nodes[i] {
+			t.Fatalf("node %d differs after round trip: %+v vs %+v", i, got[i], nodes[i])
+		}
+	}
+	// The round-tripped deployment must build the identical graph.
+	ga, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := network.Build(got, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < ga.Len(); u++ {
+		a, b := ga.Neighbors(u), gb.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency differs after round trip", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency differs after round trip", u)
+			}
+		}
+	}
+}
+
+func TestReadNodesHandWritten(t *testing.T) {
+	in := `
+# a comment
+0 1.5 2.5 1.0
+
+1 3 4 2
+`
+	nodes, err := ReadNodes(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[1].Pos.X != 3 || nodes[1].Radius != 2 {
+		t.Fatalf("parsed %+v", nodes)
+	}
+}
+
+func TestReadNodesErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"short line", "0 1 2"},
+		{"bad id", "x 1 2 3"},
+		{"bad coord", "0 a 2 3"},
+		{"out-of-order id", "1 0 0 1"},
+		{"gap in ids", "0 0 0 1\n2 1 1 1"},
+		{"zero radius", "0 1 2 0"},
+	}
+	for _, c := range cases {
+		if _, err := ReadNodes(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	nodes, err := ReadNodes(strings.NewReader("# only comments\n"))
+	if err != nil || len(nodes) != 0 {
+		t.Errorf("comment-only trace: %v, %v", nodes, err)
+	}
+}

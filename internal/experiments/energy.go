@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/broadcast"
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+	"repro/internal/network"
+)
+
+// Energy addresses the paper's §1.1 design goal ("use the limited energy
+// as efficiently as possible") quantitatively: it measures the total
+// transmission energy of one network-wide broadcast, with a transmission
+// at radius r costing r² (the covered area, the standard disk energy
+// model). In heterogeneous networks this exposes a trade-off invisible in
+// the transmission counts: the skyline set preferentially relays through
+// large-radius nodes (their disks dominate the union), so its energy per
+// transmission is above average, while greedy picks by 2-hop coverage
+// irrespective of radius.
+func Energy(cfg Config, model deploy.RadiusModel) (Figure, error) {
+	cfg = cfg.normalized()
+	type proto struct {
+		name string
+		sel  forwarding.Selector
+	}
+	protos := []proto{
+		{"flooding", nil},
+		{"skyline", forwarding.Skyline{}},
+		{"greedy", forwarding.Greedy{}},
+		{"repair", forwarding.SkylineRepair{}},
+	}
+	energy := make([]Series, len(protos))
+	perTx := make([]Series, len(protos))
+	for i, p := range protos {
+		energy[i] = Series{Label: p.name + " energy"}
+		perTx[i] = Series{Label: p.name + " energy/tx"}
+	}
+	for _, degree := range cfg.Degrees {
+		tot := make([][]float64, len(protos))
+		per := make([][]float64, len(protos))
+		for i := range protos {
+			tot[i] = make([]float64, cfg.Replications)
+			per[i] = make([]float64, cfg.Replications)
+		}
+		dcfg := deploy.PaperConfig(model, degree)
+		err := forEachReplication(cfg, func(rep int, rng *rand.Rand) error {
+			nodes, err := deploy.Generate(dcfg, rng)
+			if err != nil {
+				return err
+			}
+			g, err := network.Build(nodes, network.Bidirectional)
+			if err != nil {
+				return err
+			}
+			for i, p := range protos {
+				res, err := broadcast.Run(g, 0, p.sel)
+				if err != nil {
+					return err
+				}
+				e := res.TxEnergy(g)
+				tot[i][rep] = e
+				if res.Transmissions > 0 {
+					per[i][rep] = e / float64(res.Transmissions)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		for i := range protos {
+			energy[i].X = append(energy[i].X, degree)
+			energy[i].Y = append(energy[i].Y, mean(tot[i]))
+			perTx[i].X = append(perTx[i].X, degree)
+			perTx[i].Y = append(perTx[i].Y, mean(per[i]))
+		}
+	}
+	return Figure{
+		ID:     "energy-" + model.String(),
+		Title:  "Broadcast transmission energy (" + model.String() + ")",
+		XLabel: "mean 1-hop neighbors",
+		YLabel: "total energy (Σ r²) / energy per transmission",
+		Series: append(append([]Series{}, energy...), perTx...),
+		Notes: []string{
+			"energy model: one transmission at radius r costs r² (§1.1 motivation)",
+			"in heterogeneous networks the skyline set skews toward large-radius relays",
+		},
+	}, nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// Fig56Graph builds the exact six-node construction of the paper's Figure
+// 5.6: a source u with neighbors u1, u2, u3, where u3's large disk
+// dominates the local union (so the skyline set is {u3}) but the 2-hop
+// nodes u4 and u5 — geometrically inside u3's disk — have radii too small
+// to reach back to u3, so they are not u3's neighbors and a u3-only
+// forwarding set strands them. The optimal forwarding set is {u1, u2}.
+func Fig56Graph() (*network.Graph, error) {
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 1},
+		{ID: 1, Pos: geom.Pt(0.8, 0.3), Radius: 1},
+		{ID: 2, Pos: geom.Pt(0.8, -0.3), Radius: 1},
+		{ID: 3, Pos: geom.Pt(0.5, 0), Radius: 2.5},
+		{ID: 4, Pos: geom.Pt(1.7, 0.3), Radius: 0.95},
+		{ID: 5, Pos: geom.Pt(1.7, -0.3), Radius: 0.95},
+	}
+	return network.Build(nodes, network.Bidirectional)
+}
+
+// Fig56 reproduces the paper's §5.1.2 drawback discussion around Figure
+// 5.6 quantitatively. It reports, over heterogeneous random networks for
+// each mean degree:
+//
+//   - the average fraction of the source's 2-hop neighbors covered by the
+//     skyline forwarding set (1.0 would mean the drawback never occurs);
+//   - the fraction of point sets in which the skyline set misses at least
+//     one 2-hop neighbor;
+//   - the average extra relays the repair extension (X1) adds on top of
+//     the skyline set to restore guaranteed coverage.
+//
+// The deterministic Figure 5.6 construction itself is validated in the
+// test suite and demonstrated in examples/heterogeneous.
+func Fig56(cfg Config) (Figure, error) {
+	cfg = cfg.normalized()
+	coverage := Series{Label: "skyline 2-hop coverage"}
+	missRate := Series{Label: "point sets with a miss"}
+	extras := Series{Label: "repair extra relays"}
+	for _, degree := range cfg.Degrees {
+		covs := make([]float64, cfg.Replications)
+		misses := make([]float64, cfg.Replications)
+		extra := make([]float64, cfg.Replications)
+		dcfg := deploy.PaperConfig(deploy.Heterogeneous, degree)
+		err := forEachReplication(cfg, func(rep int, rng *rand.Rand) error {
+			nodes, err := deploy.Generate(dcfg, rng)
+			if err != nil {
+				return err
+			}
+			g, err := network.Build(nodes, network.Bidirectional)
+			if err != nil {
+				return err
+			}
+			sky, err := (forwarding.Skyline{}).Select(g, 0)
+			if err != nil {
+				return err
+			}
+			cov := forwarding.CoverageRatio(g, 0, sky)
+			covs[rep] = cov
+			if cov < 1 {
+				misses[rep] = 1
+			}
+			rep2, err := (forwarding.SkylineRepair{}).Select(g, 0)
+			if err != nil {
+				return err
+			}
+			extra[rep] = float64(len(rep2) - len(sky))
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		coverage.X = append(coverage.X, degree)
+		coverage.Y = append(coverage.Y, mean(covs))
+		missRate.X = append(missRate.X, degree)
+		missRate.Y = append(missRate.Y, mean(misses))
+		extras.X = append(extras.X, degree)
+		extras.Y = append(extras.Y, mean(extra))
+	}
+	return Figure{
+		ID:     "fig5.6",
+		Title:  "Skyline 2-hop coverage drawback in heterogeneous networks",
+		XLabel: "mean 1-hop neighbors",
+		YLabel: "ratio / count",
+		Series: []Series{coverage, missRate, extras},
+		Notes: []string{
+			"paper: qualitative only (Figure 5.6 construction); the exact construction is Fig56Graph",
+			"repair extra relays is the X1 future-work extension's overhead",
+		},
+	}, nil
+}
+
+func mean(xs []float64) float64 {
+	var s stats.Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Mean()
+}

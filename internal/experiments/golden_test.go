@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden regression tests: tiny fixed-seed runs of the figure drivers are
+// compared byte-for-byte against checked-in JSON. Any change to the
+// deployment generator, the graph construction, a selector, or the
+// experiment plumbing that alters results shows up as a golden diff.
+// Regenerate intentionally with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestGolden
+
+func goldenConfig() Config {
+	return Config{Replications: 8, Seed: 12345, Workers: 1, Degrees: []float64{6, 10}}
+}
+
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (Figure, error)
+	}{
+		{"fig51", func() (Figure, error) { return Fig51(goldenConfig()) }},
+		{"fig54", func() (Figure, error) { return Fig54(goldenConfig()) }},
+		{"fig56", func() (Figure, error) { return Fig56(goldenConfig()) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fig, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fig.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.name+"_golden.json")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output changed; if intentional, regenerate with UPDATE_GOLDEN=1.\n got: %s\nwant: %s",
+					c.name, truncate(got), truncate(want))
+			}
+		})
+	}
+}
+
+func truncate(b []byte) string {
+	const max = 600
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

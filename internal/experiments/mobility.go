@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+	"repro/internal/mobility"
+	"repro/internal/network"
+)
+
+// Mobility quantifies the paper's §5.1.1 argument for 1-hop-information
+// algorithms: under random-waypoint movement, it measures per time step
+//
+//   - the HELLO traffic (in neighbor entries) needed to keep 1-hop versus
+//     2-hop tables fresh;
+//   - the fraction of nodes whose 1-hop and 2-hop neighborhoods changed;
+//   - the staleness cost of NOT refreshing: how often the skyline
+//     forwarding set computed on the previous topology is no longer the
+//     skyline set of the current one, versus the same for the 2-hop-based
+//     greedy set.
+//
+// The x-axis is the node speed (region side is 12.5, radii in [1, 2], so
+// speed 1 crosses a transmission range per time unit).
+func Mobility(cfg Config, speeds []float64) (Figure, error) {
+	cfg = cfg.normalized()
+	if len(speeds) == 0 {
+		speeds = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	const steps = 10
+	oneCost := Series{Label: "1-hop entries/step"}
+	twoCost := Series{Label: "2-hop entries/step"}
+	oneChurn := Series{Label: "1-hop churn"}
+	twoChurn := Series{Label: "2-hop churn"}
+	skyStale := Series{Label: "skyline set stale"}
+	greedyStale := Series{Label: "greedy set stale"}
+
+	for _, speed := range speeds {
+		n := cfg.Replications
+		one := make([]float64, n)
+		two := make([]float64, n)
+		ch1 := make([]float64, n)
+		ch2 := make([]float64, n)
+		st1 := make([]float64, n)
+		st2 := make([]float64, n)
+		err := forEachReplication(cfg, func(rep int, rng *rand.Rand) error {
+			nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Heterogeneous, 10), rng)
+			if err != nil {
+				return err
+			}
+			m, err := mobility.NewModel(mobility.WaypointConfig{
+				Side: 12.5, SpeedMin: speed * 0.5, SpeedMax: speed * 1.5, PauseMax: 0.5,
+			}, nodes, rng)
+			if err != nil {
+				return err
+			}
+			prev, err := m.Graph(network.Bidirectional)
+			if err != nil {
+				return err
+			}
+			var staleSky, staleGreedy, stepsWithSets float64
+			for s := 0; s < steps; s++ {
+				prevSky, errSky := (forwarding.Skyline{}).Select(prev, 0)
+				prevGreedy, errGreedy := (forwarding.Greedy{}).Select(prev, 0)
+				m.Step(0.5)
+				cur, err := m.Graph(network.Bidirectional)
+				if err != nil {
+					return err
+				}
+				o, t, err := mobility.MaintenanceCost(prev, cur)
+				if err != nil {
+					return err
+				}
+				one[rep] += float64(o) / steps
+				two[rep] += float64(t) / steps
+				churn, err := mobility.Churn(prev, cur)
+				if err != nil {
+					return err
+				}
+				ch1[rep] += float64(churn.OneHopChanged) / float64(churn.Nodes) / steps
+				ch2[rep] += float64(churn.TwoHopChanged) / float64(churn.Nodes) / steps
+				if errSky == nil && errGreedy == nil {
+					stepsWithSets++
+					curSky, err := (forwarding.Skyline{}).Select(cur, 0)
+					if err != nil {
+						return err
+					}
+					if !equalSets(prevSky, curSky) {
+						staleSky++
+					}
+					curGreedy, err := (forwarding.Greedy{}).Select(cur, 0)
+					if err != nil {
+						return err
+					}
+					if !equalSets(prevGreedy, curGreedy) {
+						staleGreedy++
+					}
+				}
+				prev = cur
+			}
+			if stepsWithSets > 0 {
+				st1[rep] = staleSky / stepsWithSets
+				st2[rep] = staleGreedy / stepsWithSets
+			}
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		oneCost.X = append(oneCost.X, speed)
+		oneCost.Y = append(oneCost.Y, mean(one))
+		twoCost.X = append(twoCost.X, speed)
+		twoCost.Y = append(twoCost.Y, mean(two))
+		oneChurn.X = append(oneChurn.X, speed)
+		oneChurn.Y = append(oneChurn.Y, mean(ch1))
+		twoChurn.X = append(twoChurn.X, speed)
+		twoChurn.Y = append(twoChurn.Y, mean(ch2))
+		skyStale.X = append(skyStale.X, speed)
+		skyStale.Y = append(skyStale.Y, mean(st1))
+		greedyStale.X = append(greedyStale.X, speed)
+		greedyStale.Y = append(greedyStale.Y, mean(st2))
+	}
+	return Figure{
+		ID:     "mobility",
+		Title:  "Neighborhood maintenance under random-waypoint mobility (§5.1.1)",
+		XLabel: "node speed",
+		YLabel: "entries / fractions",
+		Series: []Series{oneCost, twoCost, oneChurn, twoChurn, skyStale, greedyStale},
+		Notes: []string{
+			"supports the paper's remark that 2-hop information costs more to maintain under mobility",
+			"churn = fraction of nodes whose table changed in a 0.5-time-unit step",
+			"stale = fraction of steps in which the source's forwarding set changed",
+		},
+	}, nil
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/deploy"
+	"repro/internal/network"
+)
+
+// Overhead quantifies the paper's §5.1 control-traffic remark: 1-hop
+// algorithms (skyline) need each node to beacon only its own identity,
+// position, and radius, while 2-hop algorithms (greedy, optimal,
+// Călinescu) additionally require every HELLO to piggyback the sender's
+// full 1-hop neighbor list. The experiment counts, per mean degree, the
+// total HELLO payload per beacon round in "entries" (one entry = one
+// node's identity+position+radius record):
+//
+//	1-hop tables:  n nodes × 1 entry
+//	2-hop tables:  n nodes × (1 + degree(n)) entries
+//
+// and reports the ratio, which grows linearly with density — the static
+// counterpart of the mobility experiment's churn costs.
+func Overhead(cfg Config, model deploy.RadiusModel) (Figure, error) {
+	cfg = cfg.normalized()
+	oneHop := Series{Label: "1-hop entries/round"}
+	twoHop := Series{Label: "2-hop entries/round"}
+	ratio := Series{Label: "2-hop / 1-hop"}
+	for _, degree := range cfg.Degrees {
+		ones := make([]float64, cfg.Replications)
+		twos := make([]float64, cfg.Replications)
+		dcfg := deploy.PaperConfig(model, degree)
+		err := forEachReplication(cfg, func(rep int, rng *rand.Rand) error {
+			nodes, err := deploy.Generate(dcfg, rng)
+			if err != nil {
+				return err
+			}
+			g, err := network.Build(nodes, network.Bidirectional)
+			if err != nil {
+				return err
+			}
+			one, two := 0, 0
+			for u := 0; u < g.Len(); u++ {
+				one++
+				two += 1 + g.Degree(u)
+			}
+			ones[rep] = float64(one)
+			twos[rep] = float64(two)
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		mOne, mTwo := mean(ones), mean(twos)
+		oneHop.X = append(oneHop.X, degree)
+		oneHop.Y = append(oneHop.Y, mOne)
+		twoHop.X = append(twoHop.X, degree)
+		twoHop.Y = append(twoHop.Y, mTwo)
+		ratio.X = append(ratio.X, degree)
+		ratio.Y = append(ratio.Y, mTwo/mOne)
+	}
+	return Figure{
+		ID:     "overhead-" + model.String(),
+		Title:  "HELLO control-traffic overhead per beacon round (" + model.String() + ")",
+		XLabel: "mean 1-hop neighbors",
+		YLabel: "entries / ratio",
+		Series: []Series{oneHop, twoHop, ratio},
+		Notes: []string{
+			"1-hop info suffices for the skyline algorithm; 2-hop info is needed by greedy/optimal/Călinescu (§5.1)",
+			"ratio ≈ 1 + mean degree: the 2-hop tax grows with density",
+		},
+	}, nil
+}
+
+// AllNodes extends the paper's Figure 5.1/5.4 measurement — which samples
+// only the central source — to every node of the network, exposing the
+// boundary effect: nodes near the region's edge have truncated
+// neighborhoods and smaller forwarding sets. The flooding curve then
+// reads as the network-wide mean degree.
+func AllNodes(cfg Config, model deploy.RadiusModel) (Figure, error) {
+	cfg = cfg.normalized()
+	selectors := heterogeneousSelectors()[:3] // flooding, skyline, greedy: cheap enough per node
+	series := make([]Series, len(selectors))
+	for i, sel := range selectors {
+		series[i] = Series{Label: sel.Name() + " (all nodes)"}
+	}
+	for _, degree := range cfg.Degrees {
+		sums := make([][]float64, len(selectors))
+		for i := range sums {
+			sums[i] = make([]float64, cfg.Replications)
+		}
+		dcfg := deploy.PaperConfig(model, degree)
+		err := forEachReplication(cfg, func(rep int, rng *rand.Rand) error {
+			nodes, err := deploy.Generate(dcfg, rng)
+			if err != nil {
+				return err
+			}
+			g, err := network.Build(nodes, network.Bidirectional)
+			if err != nil {
+				return err
+			}
+			for i, sel := range selectors {
+				total := 0
+				for u := 0; u < g.Len(); u++ {
+					set, err := sel.Select(g, u)
+					if err != nil {
+						return err
+					}
+					total += len(set)
+				}
+				sums[i][rep] = float64(total) / float64(g.Len())
+			}
+			return nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		for i := range selectors {
+			series[i].X = append(series[i].X, degree)
+			series[i].Y = append(series[i].Y, mean(sums[i]))
+		}
+	}
+	return Figure{
+		ID:     "allnodes-" + model.String(),
+		Title:  "Forwarding-set size averaged over every node (" + model.String() + ")",
+		XLabel: "mean 1-hop neighbors",
+		YLabel: "average forward nodes",
+		Series: series,
+		Notes: []string{
+			"the paper's figures measure only the central source; averaging over all nodes includes boundary effects",
+		},
+	}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteReport materializes a set of figures (typically a scenario run)
+// into a directory: one JSON + CSV per figure plus an index.md linking
+// everything with the rendered tables inline. renderSVG, when non-nil, is
+// called per figure to produce a chart (the facade passes its
+// RenderFigureSVG); nil skips charts.
+func WriteReport(dir string, figs []Figure, renderSVG func(Figure) string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: creating report dir: %w", err)
+	}
+	var index strings.Builder
+	index.WriteString("# Experiment report\n\n")
+	for _, fig := range figs {
+		slug := slugify(fig.ID)
+		data, err := fig.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, slug+".json"), data, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, slug+".csv"),
+			[]byte(fig.Table().CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&index, "## %s — %s\n\n", fig.ID, fig.Title)
+		fmt.Fprintf(&index, "```\n%s```\n\n", fig.Table().String())
+		for _, n := range fig.Notes {
+			fmt.Fprintf(&index, "- %s\n", n)
+		}
+		fmt.Fprintf(&index, "\nFiles: [%s.json](%s.json), [%s.csv](%s.csv)",
+			slug, slug, slug, slug)
+		if renderSVG != nil {
+			svgName := slug + ".svg"
+			if err := os.WriteFile(filepath.Join(dir, svgName),
+				[]byte(renderSVG(fig)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(&index, ", [%s](%s)", svgName, svgName)
+		}
+		index.WriteString("\n\n")
+	}
+	return os.WriteFile(filepath.Join(dir, "index.md"), []byte(index.String()), 0o644)
+}
+
+// slugify turns a figure ID into a safe file stem.
+func slugify(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "figure"
+	}
+	return b.String()
+}

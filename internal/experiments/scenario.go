@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Scenario is a declarative experiment suite: a JSON document listing
+// which experiments to run and with what configuration, so a full
+// reproduction campaign is a single reviewable file instead of a shell
+// script. The CLI's -scenario flag executes one.
+//
+// Example:
+//
+//	{
+//	  "name": "paper-reproduction",
+//	  "replications": 200,
+//	  "seed": 1,
+//	  "experiments": [
+//	    {"id": "fig5.1"},
+//	    {"id": "fig5.4", "degrees": [4, 8, 12, 16, 20, 24]},
+//	    {"id": "fig5.6", "replications": 500}
+//	  ]
+//	}
+type Scenario struct {
+	// Name labels the suite in output.
+	Name string `json:"name"`
+	// Replications, Seed, Workers, and Degrees are suite-wide defaults;
+	// zero values fall back to the paper's defaults.
+	Replications int       `json:"replications,omitempty"`
+	Seed         int64     `json:"seed,omitempty"`
+	Workers      int       `json:"workers,omitempty"`
+	Degrees      []float64 `json:"degrees,omitempty"`
+	// Experiments lists the runs, in order.
+	Experiments []ScenarioExperiment `json:"experiments"`
+}
+
+// ScenarioExperiment is one entry of a scenario; per-experiment fields
+// override the suite defaults when non-zero.
+type ScenarioExperiment struct {
+	ID           string    `json:"id"`
+	Replications int       `json:"replications,omitempty"`
+	Seed         int64     `json:"seed,omitempty"`
+	Degrees      []float64 `json:"degrees,omitempty"`
+}
+
+// ParseScenario decodes and validates a scenario document. runnable must
+// report whether an experiment ID exists (the facade's RunExperiment
+// dispatcher decides that); pass nil to skip ID validation.
+func ParseScenario(data []byte, runnable func(id string) bool) (Scenario, error) {
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("experiments: parsing scenario: %w", err)
+	}
+	if len(sc.Experiments) == 0 {
+		return Scenario{}, fmt.Errorf("experiments: scenario %q lists no experiments", sc.Name)
+	}
+	if sc.Replications < 0 {
+		return Scenario{}, fmt.Errorf("experiments: negative replications")
+	}
+	for i, e := range sc.Experiments {
+		if e.ID == "" {
+			return Scenario{}, fmt.Errorf("experiments: scenario entry %d has no id", i)
+		}
+		if runnable != nil && !runnable(e.ID) {
+			return Scenario{}, fmt.Errorf("experiments: scenario entry %d: unknown experiment %q", i, e.ID)
+		}
+		if e.Replications < 0 {
+			return Scenario{}, fmt.Errorf("experiments: entry %d: negative replications", i)
+		}
+	}
+	return sc, nil
+}
+
+// ConfigFor materializes the effective Config of one scenario entry.
+func (sc Scenario) ConfigFor(e ScenarioExperiment) Config {
+	cfg := Config{
+		Replications: sc.Replications,
+		Seed:         sc.Seed,
+		Workers:      sc.Workers,
+		Degrees:      sc.Degrees,
+	}
+	if e.Replications > 0 {
+		cfg.Replications = e.Replications
+	}
+	if e.Seed != 0 {
+		cfg.Seed = e.Seed
+	}
+	if len(e.Degrees) > 0 {
+		cfg.Degrees = e.Degrees
+	}
+	return cfg.normalized()
+}
+
+// Run executes every entry with the given runner (typically the facade's
+// RunExperiment) and returns the figures in order. The first failure
+// aborts the suite.
+func (sc Scenario) Run(runner func(id string, cfg Config) (Figure, error)) ([]Figure, error) {
+	figs := make([]Figure, 0, len(sc.Experiments))
+	for i, e := range sc.Experiments {
+		fig, err := runner(e.ID, sc.ConfigFor(e))
+		if err != nil {
+			return figs, fmt.Errorf("experiments: scenario entry %d (%s): %w", i, e.ID, err)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleScenario = `{
+  "name": "mini",
+  "replications": 6,
+  "seed": 3,
+  "degrees": [6],
+  "experiments": [
+    {"id": "fig5.1"},
+    {"id": "fig5.4", "replications": 4, "degrees": [8]},
+    {"id": "fig5.6", "seed": 99}
+  ]
+}`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(sampleScenario), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "mini" || len(sc.Experiments) != 3 {
+		t.Fatalf("parsed %+v", sc)
+	}
+	cfg := sc.ConfigFor(sc.Experiments[0])
+	if cfg.Replications != 6 || cfg.Seed != 3 || len(cfg.Degrees) != 1 || cfg.Degrees[0] != 6 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	cfg = sc.ConfigFor(sc.Experiments[1])
+	if cfg.Replications != 4 || cfg.Degrees[0] != 8 || cfg.Seed != 3 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	cfg = sc.ConfigFor(sc.Experiments[2])
+	if cfg.Seed != 99 || cfg.Replications != 6 {
+		t.Errorf("seed override not applied: %+v", cfg)
+	}
+}
+
+func TestParseScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"broken json", "{nope"},
+		{"no experiments", `{"name": "x", "experiments": []}`},
+		{"missing id", `{"experiments": [{}]}`},
+		{"negative reps", `{"replications": -1, "experiments": [{"id": "fig5.1"}]}`},
+		{"negative entry reps", `{"experiments": [{"id": "fig5.1", "replications": -2}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseScenario([]byte(c.in), nil); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// ID validation callback.
+	known := func(id string) bool { return id == "fig5.1" }
+	if _, err := ParseScenario([]byte(`{"experiments": [{"id": "bogus"}]}`), known); err == nil {
+		t.Error("unknown experiment must fail when validated")
+	}
+	if _, err := ParseScenario([]byte(`{"experiments": [{"id": "fig5.1"}]}`), known); err != nil {
+		t.Errorf("known experiment rejected: %v", err)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	dir := t.TempDir()
+	figs := []Figure{
+		{
+			ID: "fig5.1", Title: "T1", XLabel: "x", YLabel: "y",
+			Series: []Series{{Label: "a", X: []float64{1}, Y: []float64{2}}},
+			Notes:  []string{"a note"},
+		},
+		{ID: "storm-het/odd id", Title: "T2", XLabel: "x", YLabel: "y"},
+	}
+	rendered := 0
+	err := WriteReport(dir, figs, func(Figure) string {
+		rendered++
+		return "<svg/>"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rendered != 2 {
+		t.Errorf("rendered %d charts, want 2", rendered)
+	}
+	for _, name := range []string{"fig5_1.json", "fig5_1.csv", "fig5_1.svg",
+		"storm-het_odd_id.json", "index.md"} {
+		if _, err := os.Stat(dir + "/" + name); err != nil {
+			t.Errorf("missing report file %s: %v", name, err)
+		}
+	}
+	idx, err := os.ReadFile(dir + "/index.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## fig5.1 — T1", "a note", "fig5_1.csv"} {
+		if !strings.Contains(string(idx), want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+	// Nil renderer skips charts without failing.
+	if err := WriteReport(t.TempDir(), figs[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"fig5.1":    "fig5_1",
+		"storm-het": "storm-het",
+		"weird/$id": "weird__id",
+		"":          "figure",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScenarioRun(t *testing.T) {
+	sc, err := ParseScenario([]byte(sampleScenario), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran []string
+	figs, err := sc.Run(func(id string, cfg Config) (Figure, error) {
+		ran = append(ran, id)
+		return Figure{ID: id}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 || strings.Join(ran, ",") != "fig5.1,fig5.4,fig5.6" {
+		t.Errorf("ran %v, figures %d", ran, len(figs))
+	}
+	// Failure aborts with context.
+	_, err = sc.Run(func(id string, cfg Config) (Figure, error) {
+		if id == "fig5.4" {
+			return Figure{}, errBoom
+		}
+		return Figure{ID: id}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "fig5.4") {
+		t.Errorf("failure not contextualized: %v", err)
+	}
+}

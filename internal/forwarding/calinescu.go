@@ -1,0 +1,283 @@
+package forwarding
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/skyline"
+)
+
+// Calinescu implements the selecting-forwarding-set algorithm of Călinescu,
+// Mandoiu, Wan, and Zelikovsky (MONET 2004) for homogeneous networks, the
+// third comparator in the paper's Figure 5.1. Following the published
+// structure:
+//
+//  1. Compute the skyline of the 1-hop neighbors' (unit) disks and number
+//     the skyline disks in counterclockwise order. In homogeneous networks
+//     every 2-hop neighbor is covered by some skyline disk, and the
+//     skyline disks covering it are consecutive in that order.
+//  2. Represent each 2-hop neighbor by its (circular) interval of covering
+//     skyline-disk positions.
+//  3. Pick a minimum set of positions stabbing every interval (the
+//     published algorithm does this greedily per quadrant; we solve the
+//     circular interval-stabbing problem exactly, which matches its
+//     behaviour on quadrant-confined instances and is never worse).
+//
+// The algorithm needs 1-hop and 2-hop information and is defined only for
+// homogeneous networks; Select returns ErrHeterogeneous otherwise (§5.1.2:
+// "the selecting forwarding set algorithm doesn't work for heterogeneous
+// networks").
+type Calinescu struct{}
+
+// Name implements Selector.
+func (Calinescu) Name() string { return "calinescu" }
+
+// Select implements Selector.
+func (Calinescu) Select(g *network.Graph, u int) ([]int, error) {
+	if g.Model() != network.Bidirectional {
+		return nil, ErrNeedsBidirectional
+	}
+	if !homogeneous(g) {
+		return nil, ErrHeterogeneous
+	}
+	neighbors := g.Neighbors(u)
+	twoHop := g.TwoHop(u)
+	if len(twoHop) == 0 {
+		return nil, nil
+	}
+
+	// Skyline of the neighbors' disks in the hub frame (the hub's own disk
+	// is excluded: 2-hop neighbors are outside it by definition).
+	hub := g.Node(u).Pos
+	disks := make([]geom.Disk, len(neighbors))
+	for i, w := range neighbors {
+		disks[i] = g.Node(w).Disk().Translate(hub)
+	}
+	sl, err := skyline.Compute(disks)
+	if err != nil {
+		return nil, err
+	}
+
+	// Number skyline disks counterclockwise by the start of their first
+	// arc (a wrap-around arc's start is the start of its non-zero piece).
+	order := skylineDiskOrder(sl)
+	pos := make(map[int]int, len(order)) // disk index → ccw position
+	for p, d := range order {
+		pos[d] = p
+	}
+	m := len(order)
+
+	// Build the covering interval of every 2-hop neighbor. In the
+	// homogeneous bidirectional model, "disk covers t" coincides with
+	// graph adjacency.
+	intervals := make([]interval, 0, len(twoHop))
+	var leftovers []int // 2-hop nodes with non-contiguous covering sets (numeric edge cases)
+	for _, t := range twoHop {
+		var covering []int
+		for p, d := range order {
+			if g.IsNeighbor(neighbors[d], t) {
+				covering = append(covering, p)
+			}
+		}
+		if len(covering) == 0 {
+			// Should not happen in homogeneous networks (every 2-hop
+			// neighbor is covered by a skyline disk); fall back to greedy.
+			leftovers = append(leftovers, t)
+			continue
+		}
+		iv, ok := contiguousInterval(covering, m)
+		if !ok {
+			leftovers = append(leftovers, t)
+			continue
+		}
+		intervals = append(intervals, iv)
+	}
+
+	chosen := circularStab(intervals, m)
+	set := make(map[int]bool, len(chosen))
+	for _, p := range chosen {
+		set[neighbors[order[p]]] = true
+	}
+
+	// Cover any leftovers greedily with arbitrary adjacent neighbors.
+	for _, t := range leftovers {
+		covered := false
+		for w := range set {
+			if g.IsNeighbor(w, t) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		for _, w := range neighbors {
+			if g.IsNeighbor(w, t) {
+				set[w] = true
+				break
+			}
+		}
+	}
+
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	return sortedCopy(out), nil
+}
+
+func homogeneous(g *network.Graph) bool {
+	nodes := g.Nodes()
+	if len(nodes) == 0 {
+		return true
+	}
+	r := nodes[0].Radius
+	for _, n := range nodes[1:] {
+		if math.Abs(n.Radius-r) > geom.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// skylineDiskOrder returns the distinct skyline disks ordered
+// counterclockwise by the start angle of their first arc, with a
+// wrap-around arc (same disk first and last) anchored at its late start.
+func skylineDiskOrder(sl skyline.Skyline) []int {
+	type first struct {
+		disk  int
+		start float64
+	}
+	seen := make(map[int]bool, len(sl))
+	var firsts []first
+	wrap := len(sl) > 1 && sl[0].Disk == sl[len(sl)-1].Disk
+	for i, a := range sl {
+		if seen[a.Disk] {
+			continue
+		}
+		start := a.Start
+		if i == 0 && wrap {
+			start = sl[len(sl)-1].Start
+		}
+		seen[a.Disk] = true
+		firsts = append(firsts, first{a.Disk, start})
+	}
+	sort.Slice(firsts, func(a, b int) bool { return firsts[a].start < firsts[b].start })
+	out := make([]int, len(firsts))
+	for i, f := range firsts {
+		out[i] = f.disk
+	}
+	return out
+}
+
+// interval is a circular interval of positions [Lo .. Hi] modulo m
+// (inclusive; Lo > Hi means it wraps through 0).
+type interval struct{ Lo, Hi int }
+
+// len returns the number of positions the interval covers on a cycle of m.
+func (iv interval) len(m int) int {
+	if iv.Lo <= iv.Hi {
+		return iv.Hi - iv.Lo + 1
+	}
+	return m - iv.Lo + iv.Hi + 1
+}
+
+// contains reports whether position p is in the interval on a cycle of m.
+func (iv interval) contains(p int) bool {
+	if iv.Lo <= iv.Hi {
+		return p >= iv.Lo && p <= iv.Hi
+	}
+	return p >= iv.Lo || p <= iv.Hi
+}
+
+// contiguousInterval converts a sorted position set into a circular
+// interval, reporting ok=false if the set is not circularly contiguous.
+func contiguousInterval(pts []int, m int) (interval, bool) {
+	if len(pts) == m {
+		return interval{0, m - 1}, true
+	}
+	// Find the single circular gap.
+	gapAt := -1
+	for i := 0; i < len(pts); i++ {
+		next := pts[(i+1)%len(pts)]
+		cur := pts[i]
+		step := next - cur
+		if step < 0 {
+			step += m
+		}
+		if step != 1 {
+			if gapAt >= 0 {
+				return interval{}, false // more than one gap
+			}
+			gapAt = i
+		}
+	}
+	if gapAt < 0 {
+		// Only possible when len(pts) == m, handled above; a single point
+		// wraps onto itself with step 0 → gapAt set. Defensive fallback:
+		return interval{pts[0], pts[len(pts)-1]}, true
+	}
+	lo := pts[(gapAt+1)%len(pts)]
+	hi := pts[gapAt]
+	return interval{lo, hi}, true
+}
+
+// circularStab returns a minimum set of positions on a cycle of m that
+// stabs every interval: for the candidate first stab it tries each
+// position of a shortest interval, then greedily stabs the remaining
+// intervals (sorted by right endpoint) on the unrolled line.
+func circularStab(intervals []interval, m int) []int {
+	if len(intervals) == 0 || m == 0 {
+		return nil
+	}
+	// Shortest interval: any solution must stab it.
+	short := intervals[0]
+	for _, iv := range intervals[1:] {
+		if iv.len(m) < short.len(m) {
+			short = iv
+		}
+	}
+	if short.len(m) == m {
+		// All intervals cover everything; any single position works
+		// unless some other interval is narrower (it isn't, by choice).
+		return []int{0}
+	}
+	var best []int
+	for off := 0; off < short.len(m); off++ {
+		p := (short.Lo + off) % m
+		sol := []int{p}
+		// Unroll the circle starting after p; no remaining interval may
+		// wrap across p since intervals containing p are already stabbed.
+		type lin struct{ lo, hi int }
+		var rest []lin
+		for _, iv := range intervals {
+			if iv.contains(p) {
+				continue
+			}
+			lo := (iv.Lo - p - 1 + 2*m) % m
+			hi := (iv.Hi - p - 1 + 2*m) % m
+			rest = append(rest, lin{lo, hi})
+		}
+		sort.Slice(rest, func(a, b int) bool { return rest[a].hi < rest[b].hi })
+		last := -1
+		feasible := true
+		for _, iv := range rest {
+			if iv.lo <= last && last <= iv.hi {
+				continue
+			}
+			if iv.hi < iv.lo {
+				feasible = false // cannot happen after unrolling; defensive
+				break
+			}
+			last = iv.hi
+			sol = append(sol, (p+1+last)%m)
+		}
+		if feasible && (best == nil || len(sol) < len(best)) {
+			best = sol
+		}
+	}
+	sort.Ints(best)
+	return best
+}

@@ -1,0 +1,113 @@
+package forwarding
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/skyline"
+)
+
+// CalinescuQuadrant is the published form of the Călinescu et al.
+// algorithm: the plane around the source is partitioned into four
+// quadrants, the interval-cover step runs independently per quadrant (the
+// contiguity lemma they prove holds for 2-hop neighbors confined to one
+// quadrant), and the final forwarding set is the union of the per-quadrant
+// selections. This is their 2-approximation per quadrant, hence ≤ 8·OPT
+// overall in the worst case; the Calinescu selector in this repository
+// solves the circular stabbing globally and exactly instead. Keeping both
+// makes the published/exact gap measurable.
+type CalinescuQuadrant struct{}
+
+// Name implements Selector.
+func (CalinescuQuadrant) Name() string { return "calinescu-quadrant" }
+
+// Select implements Selector.
+func (CalinescuQuadrant) Select(g *network.Graph, u int) ([]int, error) {
+	if g.Model() != network.Bidirectional {
+		return nil, ErrNeedsBidirectional
+	}
+	if !homogeneous(g) {
+		return nil, ErrHeterogeneous
+	}
+	neighbors := g.Neighbors(u)
+	twoHop := g.TwoHop(u)
+	if len(twoHop) == 0 {
+		return nil, nil
+	}
+	hub := g.Node(u).Pos
+	disks := make([]geom.Disk, len(neighbors))
+	for i, w := range neighbors {
+		disks[i] = g.Node(w).Disk().Translate(hub)
+	}
+	sl, err := skyline.Compute(disks)
+	if err != nil {
+		return nil, err
+	}
+	order := skylineDiskOrder(sl)
+	m := len(order)
+
+	// Partition 2-hop neighbors by the quadrant of their direction from
+	// the hub.
+	quadrants := make([][]int, 4)
+	for _, t := range twoHop {
+		q := int(g.Node(t).Pos.Sub(hub).Angle() / (math.Pi / 2))
+		if q > 3 {
+			q = 3
+		}
+		quadrants[q] = append(quadrants[q], t)
+	}
+
+	set := make(map[int]bool)
+	for _, targets := range quadrants {
+		if len(targets) == 0 {
+			continue
+		}
+		var intervals []interval
+		var leftovers []int
+		for _, t := range targets {
+			var covering []int
+			for p, d := range order {
+				if g.IsNeighbor(neighbors[d], t) {
+					covering = append(covering, p)
+				}
+			}
+			if len(covering) == 0 {
+				leftovers = append(leftovers, t)
+				continue
+			}
+			iv, ok := contiguousInterval(covering, m)
+			if !ok {
+				leftovers = append(leftovers, t)
+				continue
+			}
+			intervals = append(intervals, iv)
+		}
+		for _, p := range circularStab(intervals, m) {
+			set[neighbors[order[p]]] = true
+		}
+		for _, t := range leftovers {
+			covered := false
+			for w := range set {
+				if g.IsNeighbor(w, t) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+			for _, w := range neighbors {
+				if g.IsNeighbor(w, t) {
+					set[w] = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	return sortedCopy(out), nil
+}

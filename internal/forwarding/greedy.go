@@ -1,0 +1,46 @@
+package forwarding
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/network"
+)
+
+// Greedy is the multipoint-relay heuristic (Qayyum et al., adapted from
+// Chvátal's greedy set cover): iteratively pick the 1-hop neighbor that
+// covers the most not-yet-covered 2-hop neighbors until every 2-hop
+// neighbor is covered. Approximation ratio O(log Δ). Requires 2-hop
+// information.
+type Greedy struct{}
+
+// Name implements Selector.
+func (Greedy) Name() string { return "greedy" }
+
+// Select implements Selector.
+func (Greedy) Select(g *network.Graph, u int) ([]int, error) {
+	cov := buildCoverage(g, u)
+	if len(cov.twoHop) == 0 {
+		return nil, nil
+	}
+	uncovered := bitset.New(len(cov.twoHop))
+	uncovered.Fill()
+	var out []int
+	for !uncovered.Empty() {
+		bestGain, best := 0, -1
+		for i := range cov.neighbors {
+			gain := cov.masks[i].Count() - cov.masks[i].CountAndNot(uncovered)
+			if gain > bestGain {
+				bestGain, best = gain, i
+			}
+		}
+		if best < 0 {
+			// Every 2-hop neighbor is adjacent to some 1-hop neighbor by
+			// definition, so this indicates an inconsistent graph.
+			return nil, fmt.Errorf("forwarding: node %d has uncoverable 2-hop neighbors", u)
+		}
+		out = append(out, cov.neighbors[best])
+		uncovered.AndNotWith(cov.masks[best])
+	}
+	return sortedCopy(out), nil
+}

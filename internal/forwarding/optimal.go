@@ -1,0 +1,122 @@
+package forwarding
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/network"
+)
+
+// Optimal computes an exact minimum forwarding set: the smallest subset of
+// 1-hop neighbors adjacent to every 2-hop neighbor. The paper uses a brute
+// force for this reference curve because the complexity of the minimum
+// forwarding set problem on disk graphs is open; we sharpen the brute
+// force into branch-and-bound over candidates sorted by coverage, with the
+// greedy solution as the initial upper bound and a packing lower bound for
+// pruning. Exponential in the worst case but fast at the paper's scales
+// (a few dozen neighbors).
+type Optimal struct{}
+
+// Name implements Selector.
+func (Optimal) Name() string { return "optimal" }
+
+// Select implements Selector.
+func (Optimal) Select(g *network.Graph, u int) ([]int, error) {
+	cov := buildCoverage(g, u)
+	if len(cov.twoHop) == 0 {
+		return nil, nil
+	}
+	// Upper bound from greedy.
+	upper, err := (Greedy{}).Select(g, u)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidates: neighbors with non-empty masks, in decreasing coverage
+	// order. Drop neighbors whose mask is a subset of another's
+	// (dominated): any solution using a dominated neighbor stays feasible
+	// when it is swapped for its dominator, so an optimum over the reduced
+	// candidate set exists.
+	type cand struct {
+		id   int
+		mask *bitset.Set
+	}
+	var cands []cand
+	for i, w := range cov.neighbors {
+		if !cov.masks[i].Empty() {
+			cands = append(cands, cand{w, cov.masks[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a].mask.Count(), cands[b].mask.Count()
+		if ca != cb {
+			return ca > cb
+		}
+		return cands[a].id < cands[b].id
+	})
+	dominated := make([]bool, len(cands))
+	for a := range cands {
+		if dominated[a] {
+			continue
+		}
+		for b := a + 1; b < len(cands); b++ {
+			if !dominated[b] && cands[b].mask.IsSubset(cands[a].mask) {
+				dominated[b] = true
+			}
+		}
+	}
+	kept := cands[:0]
+	for i, c := range cands {
+		if !dominated[i] {
+			kept = append(kept, c)
+		}
+	}
+	cands = kept
+
+	// Suffix maxima of mask sizes for the packing lower bound.
+	suffixMax := make([]int, len(cands)+1)
+	for i := len(cands) - 1; i >= 0; i-- {
+		suffixMax[i] = suffixMax[i+1]
+		if c := cands[i].mask.Count(); c > suffixMax[i] {
+			suffixMax[i] = c
+		}
+	}
+
+	best := append([]int(nil), upper...)
+	uncovered := bitset.New(len(cov.twoHop))
+	uncovered.Fill()
+	var chosen []int
+
+	var dfs func(from int)
+	dfs = func(from int) {
+		if uncovered.Empty() {
+			if len(chosen) < len(best) {
+				best = append(best[:0], chosen...)
+			}
+			return
+		}
+		if from >= len(cands) || suffixMax[from] == 0 {
+			return
+		}
+		// Packing bound: even covering suffixMax[from] new nodes per pick
+		// cannot beat the incumbent.
+		need := (uncovered.Count() + suffixMax[from] - 1) / suffixMax[from]
+		if len(chosen)+need >= len(best) {
+			return
+		}
+		for j := from; j < len(cands); j++ {
+			gain := cands[j].mask.Count() - cands[j].mask.CountAndNot(uncovered)
+			if gain == 0 {
+				continue
+			}
+			saved := uncovered.Clone()
+			uncovered.AndNotWith(cands[j].mask)
+			chosen = append(chosen, cands[j].id)
+			dfs(j + 1)
+			chosen = chosen[:len(chosen)-1]
+			uncovered = saved
+		}
+	}
+	dfs(0)
+	return sortedCopy(best), nil
+}

@@ -1,0 +1,109 @@
+package forwarding
+
+import (
+	"repro/internal/mldcs"
+	"repro/internal/network"
+)
+
+// Skyline is the paper's forwarding-set algorithm: the minimum local disk
+// cover set of the node's 1-hop neighborhood (Theorem 3: the skyline set),
+// computed from 1-hop information only in O(n log n). The hub's own disk
+// participates in the skyline — its arcs are covered by the node's original
+// transmission — but is excluded from the returned forwarding set.
+type Skyline struct{}
+
+// Name implements Selector.
+func (Skyline) Name() string { return "skyline" }
+
+// Select implements Selector.
+func (Skyline) Select(g *network.Graph, u int) ([]int, error) {
+	if g.Model() != network.Bidirectional {
+		return nil, ErrNeedsBidirectional
+	}
+	ls, ids, err := g.LocalSet(u)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	r, err := mldcs.Solve(ls)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(r.Cover))
+	for _, i := range r.NeighborCover() {
+		out = append(out, ids[i])
+	}
+	return sortedCopy(out), nil
+}
+
+// SkylineRepair is the paper's §5.2 future-work extension. In
+// heterogeneous networks with bidirectional links, the skyline set alone
+// cannot guarantee 2-hop coverage (the Figure 5.6 drawback): a 1-hop
+// neighbor whose disk geometrically covers a 2-hop node may still not be
+// its graph neighbor, because the 2-hop node's own radius is too small to
+// reach back. SkylineRepair keeps the skyline set as the base — preserving
+// its full-coverage geometry — and, using 2-hop information, greedily adds
+// the fewest extra 1-hop neighbors needed to cover the 2-hop nodes the
+// skyline set misses.
+type SkylineRepair struct{}
+
+// Name implements Selector.
+func (SkylineRepair) Name() string { return "repair" }
+
+// Select implements Selector.
+func (SkylineRepair) Select(g *network.Graph, u int) ([]int, error) {
+	base, err := (Skyline{}).Select(g, u)
+	if err != nil {
+		return nil, err
+	}
+	missing := Uncovered(g, u, base)
+	if len(missing) == 0 {
+		return base, nil
+	}
+	cov := buildCoverage(g, u)
+	uncovered := make(map[int]bool, len(missing))
+	for _, t := range missing {
+		uncovered[t] = true
+	}
+	inSet := make(map[int]bool, len(base))
+	for _, w := range base {
+		inSet[w] = true
+	}
+	// Greedy: repeatedly add the 1-hop neighbor covering the most
+	// still-uncovered 2-hop nodes.
+	for len(uncovered) > 0 {
+		bestGain, bestID := 0, -1
+		for i, w := range cov.neighbors {
+			if inSet[w] {
+				continue
+			}
+			gain := 0
+			for _, b := range cov.masks[i].Members() {
+				if uncovered[cov.twoHop[b]] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && (bestID < 0 || w < bestID)) {
+				bestGain, bestID = gain, w
+			}
+		}
+		if bestID < 0 {
+			// No neighbor can cover the rest — impossible by the
+			// definition of 2-hop neighbors, but guard against it.
+			break
+		}
+		inSet[bestID] = true
+		base = append(base, bestID)
+		for i, w := range cov.neighbors {
+			if w != bestID {
+				continue
+			}
+			for _, b := range cov.masks[i].Members() {
+				delete(uncovered, cov.twoHop[b])
+			}
+		}
+	}
+	return sortedCopy(base), nil
+}

@@ -1,0 +1,128 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCircleIntersectionsTwoPoints(t *testing.T) {
+	// Unit circles at (0,0) and (1,0): intersections at (1/2, ±√3/2).
+	pts, ok := CircleIntersections(NewDisk(0, 0, 1), NewDisk(1, 0, 1))
+	if !ok || len(pts) != 2 {
+		t.Fatalf("got %d points, ok=%v; want 2 points", len(pts), ok)
+	}
+	want := math.Sqrt(3) / 2
+	for _, p := range pts {
+		if !almostEq(p.X, 0.5, 1e-9) || !almostEq(math.Abs(p.Y), want, 1e-9) {
+			t.Errorf("unexpected intersection %v", p)
+		}
+	}
+	if pts[0].Eq(pts[1]) {
+		t.Error("the two intersection points must differ")
+	}
+}
+
+func TestCircleIntersectionsTangent(t *testing.T) {
+	// Externally tangent at (1, 0).
+	pts, ok := CircleIntersections(NewDisk(0, 0, 1), NewDisk(2, 0, 1))
+	if !ok || len(pts) != 1 {
+		t.Fatalf("external tangency: got %d points, ok=%v", len(pts), ok)
+	}
+	if !pts[0].Eq(Pt(1, 0)) {
+		t.Errorf("tangent point = %v, want (1, 0)", pts[0])
+	}
+	// Internally tangent at (2, 0).
+	pts, ok = CircleIntersections(NewDisk(0, 0, 2), NewDisk(1, 0, 1))
+	if !ok || len(pts) != 1 {
+		t.Fatalf("internal tangency: got %d points, ok=%v", len(pts), ok)
+	}
+	if !pts[0].Eq(Pt(2, 0)) {
+		t.Errorf("tangent point = %v, want (2, 0)", pts[0])
+	}
+}
+
+func TestCircleIntersectionsDisjoint(t *testing.T) {
+	pts, ok := CircleIntersections(NewDisk(0, 0, 1), NewDisk(5, 0, 1))
+	if !ok || pts != nil {
+		t.Errorf("disjoint circles: got %v, ok=%v", pts, ok)
+	}
+	// One strictly inside the other.
+	pts, ok = CircleIntersections(NewDisk(0, 0, 5), NewDisk(1, 0, 1))
+	if !ok || pts != nil {
+		t.Errorf("nested circles: got %v, ok=%v", pts, ok)
+	}
+}
+
+func TestCircleIntersectionsCoincident(t *testing.T) {
+	d := NewDisk(1, 2, 3)
+	if _, ok := CircleIntersections(d, d); ok {
+		t.Error("coincident circles must report ok=false")
+	}
+}
+
+// Property: every returned intersection point lies on both circles, and the
+// result is symmetric in its arguments.
+func TestCircleIntersectionsOnBothCircles(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 1000; i++ {
+		d := Disk{Pt(rng.Float64()*4-2, rng.Float64()*4-2), 0.5 + rng.Float64()*2}
+		e := Disk{Pt(rng.Float64()*4-2, rng.Float64()*4-2), 0.5 + rng.Float64()*2}
+		pts, ok := CircleIntersections(d, e)
+		if !ok {
+			continue
+		}
+		for _, p := range pts {
+			if !d.OnBoundary(p) || !e.OnBoundary(p) {
+				t.Fatalf("intersection %v not on both circles %v, %v (dists %g, %g)",
+					p, d, e, d.C.Dist(p)-d.R, e.C.Dist(p)-e.R)
+			}
+		}
+		rev, _ := CircleIntersections(e, d)
+		if len(rev) != len(pts) {
+			t.Fatalf("asymmetric intersection count: %d vs %d", len(pts), len(rev))
+		}
+	}
+}
+
+func TestDisksIntersect(t *testing.T) {
+	if !DisksIntersect(NewDisk(0, 0, 1), NewDisk(1.5, 0, 1)) {
+		t.Error("overlapping disks intersect")
+	}
+	if !DisksIntersect(NewDisk(0, 0, 1), NewDisk(2, 0, 1)) {
+		t.Error("tangent disks intersect (closed disks)")
+	}
+	if DisksIntersect(NewDisk(0, 0, 1), NewDisk(3, 0, 1)) {
+		t.Error("separated disks do not intersect")
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	p, q := Pt(0, 0), Pt(2, 0)
+	if got := DistPointSegment(Pt(1, 1), p, q); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perpendicular distance = %v, want 1", got)
+	}
+	if got := DistPointSegment(Pt(-1, 0), p, q); !almostEq(got, 1, 1e-12) {
+		t.Errorf("distance to endpoint = %v, want 1", got)
+	}
+	if got := DistPointSegment(Pt(3, 0), p, q); !almostEq(got, 1, 1e-12) {
+		t.Errorf("distance past far endpoint = %v, want 1", got)
+	}
+	// Degenerate segment.
+	if got := DistPointSegment(Pt(1, 0), p, p); !almostEq(got, 1, 1e-12) {
+		t.Errorf("degenerate segment distance = %v, want 1", got)
+	}
+}
+
+func TestSegmentIntersectsDisk(t *testing.T) {
+	d := NewDisk(0, 0, 1)
+	if !SegmentIntersectsDisk(Pt(-2, 0), Pt(2, 0), d) {
+		t.Error("segment through the disk intersects")
+	}
+	if !SegmentIntersectsDisk(Pt(-2, 1), Pt(2, 1), d) {
+		t.Error("tangent segment intersects (closed sets)")
+	}
+	if SegmentIntersectsDisk(Pt(-2, 2), Pt(2, 2), d) {
+		t.Error("distant segment does not intersect")
+	}
+}

@@ -1,0 +1,110 @@
+package geom
+
+import "math"
+
+// Triangle support used by the paper's Lemmas 5–7 (the geometric core of
+// the ≤ 2n arc bound) and by the test suite that validates them.
+
+// TriangleKind classifies a triangle by its largest angle.
+type TriangleKind int
+
+// Triangle classifications.
+const (
+	AcuteTriangle TriangleKind = iota
+	RightTriangle
+	ObtuseTriangle
+	DegenerateTriangle // collinear vertices
+)
+
+// String implements fmt.Stringer.
+func (k TriangleKind) String() string {
+	switch k {
+	case AcuteTriangle:
+		return "acute"
+	case RightTriangle:
+		return "right"
+	case ObtuseTriangle:
+		return "obtuse"
+	default:
+		return "degenerate"
+	}
+}
+
+// ClassifyTriangle reports whether triangle abc is acute, right, obtuse, or
+// degenerate, using squared side lengths so no angles are ever computed.
+func ClassifyTriangle(a, b, c Point) TriangleKind {
+	ab := a.Dist2(b)
+	bc := b.Dist2(c)
+	ca := c.Dist2(a)
+	if math.Abs(b.Sub(a).Cross(c.Sub(a))) <= Eps {
+		return DegenerateTriangle
+	}
+	// Sort so that ab is the largest squared side.
+	m := math.Max(ab, math.Max(bc, ca))
+	rest := ab + bc + ca - m
+	switch {
+	case math.Abs(m-rest) <= Eps:
+		return RightTriangle
+	case m > rest:
+		return ObtuseTriangle
+	default:
+		return AcuteTriangle
+	}
+}
+
+// Circumcircle returns the circle through the three (non-collinear) points.
+// ok is false for degenerate (collinear) input.
+func Circumcircle(a, b, c Point) (center Point, radius float64, ok bool) {
+	d := 2 * (a.X*(b.Y-c.Y) + b.X*(c.Y-a.Y) + c.X*(a.Y-b.Y))
+	if math.Abs(d) <= Eps {
+		return Point{}, 0, false
+	}
+	a2, b2, c2 := a.Norm2(), b.Norm2(), c.Norm2()
+	ux := (a2*(b.Y-c.Y) + b2*(c.Y-a.Y) + c2*(a.Y-b.Y)) / d
+	uy := (a2*(c.X-b.X) + b2*(a.X-c.X) + c2*(b.X-a.X)) / d
+	center = Point{ux, uy}
+	return center, center.Dist(a), true
+}
+
+// Orthocenter returns the orthocenter of triangle abc (the common point of
+// the three altitudes). ok is false for degenerate input. Lemma 6 of the
+// paper states that the three "reflected" circumradius circles drawn
+// outward on the triangle's edges all pass through this point.
+func Orthocenter(a, b, c Point) (Point, bool) {
+	center, _, ok := Circumcircle(a, b, c)
+	if !ok {
+		return Point{}, false
+	}
+	// Orthocenter H = A + B + C − 2·O where O is the circumcenter.
+	return Point{a.X + b.X + c.X - 2*center.X, a.Y + b.Y + c.Y - 2*center.Y}, true
+}
+
+// EdgeCircleOutside returns the circle that has segment pq as a chord, the
+// given radius (≥ ‖p−q‖/2), and its center on the opposite side of pq from
+// the reference point opp. This is the construction used by Lemma 6 /
+// Corollary 7: a circle drawn on a triangle edge with its center outside
+// the triangle. ok is false if radius < half the chord length.
+func EdgeCircleOutside(p, q, opp Point, radius float64) (Disk, bool) {
+	mid := Midpoint(p, q)
+	half := p.Dist(q) / 2
+	if radius < half-Eps {
+		return Disk{}, false
+	}
+	h2 := radius*radius - half*half
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	v := q.Sub(p)
+	n := Point{-v.Y, v.X} // normal to pq
+	ln := n.Norm()
+	if ln <= Eps {
+		return Disk{}, false
+	}
+	n = n.Scale(1 / ln)
+	// Pick the normal direction pointing away from opp.
+	if n.Dot(opp.Sub(mid)) > 0 {
+		n = n.Scale(-1)
+	}
+	return Disk{mid.Add(n.Scale(h)), radius}, true
+}

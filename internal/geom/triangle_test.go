@@ -1,0 +1,238 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyTriangle(t *testing.T) {
+	cases := []struct {
+		a, b, c Point
+		want    TriangleKind
+	}{
+		{Pt(0, 0), Pt(1, 0), Pt(0.5, 2), AcuteTriangle},
+		{Pt(0, 0), Pt(1, 0), Pt(0, 1), RightTriangle},
+		{Pt(0, 0), Pt(4, 0), Pt(3.8, 0.2), ObtuseTriangle},
+		{Pt(0, 0), Pt(1, 1), Pt(2, 2), DegenerateTriangle},
+	}
+	for _, c := range cases {
+		if got := ClassifyTriangle(c.a, c.b, c.c); got != c.want {
+			t.Errorf("Classify(%v, %v, %v) = %v, want %v", c.a, c.b, c.c, got, c.want)
+		}
+	}
+}
+
+func TestTriangleKindString(t *testing.T) {
+	if AcuteTriangle.String() != "acute" || ObtuseTriangle.String() != "obtuse" ||
+		RightTriangle.String() != "right" || DegenerateTriangle.String() != "degenerate" {
+		t.Error("TriangleKind.String mismatch")
+	}
+}
+
+func TestCircumcircle(t *testing.T) {
+	// Right triangle: circumcenter at hypotenuse midpoint.
+	c, r, ok := Circumcircle(Pt(0, 0), Pt(2, 0), Pt(0, 2))
+	if !ok {
+		t.Fatal("circumcircle of a right triangle must exist")
+	}
+	if !c.Eq(Pt(1, 1)) || !almostEq(r, math.Sqrt2, 1e-9) {
+		t.Errorf("circumcircle = %v r=%v, want (1,1) r=√2", c, r)
+	}
+	if _, _, ok := Circumcircle(Pt(0, 0), Pt(1, 1), Pt(2, 2)); ok {
+		t.Error("collinear points have no circumcircle")
+	}
+}
+
+// Property: the circumcircle passes through all three vertices.
+func TestCircumcircleThroughVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 500; i++ {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		center, r, ok := Circumcircle(a, b, c)
+		if !ok {
+			continue
+		}
+		for _, v := range []Point{a, b, c} {
+			if !almostEq(center.Dist(v), r, 1e-6*(1+r)) {
+				t.Fatalf("vertex %v at distance %v from circumcenter, want %v", v, center.Dist(v), r)
+			}
+		}
+	}
+}
+
+// Property: the orthocenter lies on all three altitudes (each line from a
+// vertex perpendicular to the opposite side).
+func TestOrthocenterOnAltitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 500; i++ {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		h, ok := Orthocenter(a, b, c)
+		if !ok {
+			continue
+		}
+		// (h − a)·(b − c) == 0, and cyclic permutations.
+		checks := [][3]Point{{a, b, c}, {b, c, a}, {c, a, b}}
+		for _, ch := range checks {
+			dot := h.Sub(ch[0]).Dot(ch[1].Sub(ch[2]))
+			scale := 1 + ch[1].Sub(ch[2]).Norm()*h.Sub(ch[0]).Norm()
+			if math.Abs(dot)/scale > 1e-6 {
+				t.Fatalf("orthocenter %v not on altitude from %v (dot %v)", h, ch[0], dot)
+			}
+		}
+	}
+}
+
+// Lemma 6 of the paper: for an acute triangle, the three circles drawn
+// outward on its edges with the circumradius all pass through the
+// orthocenter.
+func TestLemma6EdgeCirclesMeetAtOrthocenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tested := 0
+	for tested < 200 {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		if ClassifyTriangle(a, b, c) != AcuteTriangle {
+			continue
+		}
+		tested++
+		_, r, ok := Circumcircle(a, b, c)
+		if !ok {
+			continue
+		}
+		h, _ := Orthocenter(a, b, c)
+		edges := [][3]Point{{a, b, c}, {b, c, a}, {c, a, b}}
+		for _, e := range edges {
+			circ, ok := EdgeCircleOutside(e[0], e[1], e[2], r)
+			if !ok {
+				t.Fatalf("edge circle with circumradius must exist (chord ≤ 2R)")
+			}
+			if !almostEq(circ.C.Dist(h), r, 1e-6*(1+r)) {
+				t.Fatalf("edge circle %v misses orthocenter %v: dist %v, r %v",
+					circ, h, circ.C.Dist(h), r)
+			}
+		}
+	}
+}
+
+// Corollary 7 of the paper: with radii strictly larger than the
+// circumradius, the three outward edge circles have no common point. We
+// verify the pairwise intersections of each circle pair are never inside
+// the third circle.
+func TestCorollary7NoCommonIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	tested := 0
+	for tested < 200 {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		kind := ClassifyTriangle(a, b, c)
+		if kind != AcuteTriangle && kind != RightTriangle {
+			continue
+		}
+		tested++
+		_, r, ok := Circumcircle(a, b, c)
+		if !ok {
+			continue
+		}
+		bigR := r * (1.05 + rng.Float64())
+		var circles []Disk
+		for _, e := range [][3]Point{{a, b, c}, {b, c, a}, {c, a, b}} {
+			circ, ok := EdgeCircleOutside(e[0], e[1], e[2], bigR)
+			if !ok {
+				t.Fatal("edge circle must exist for radius > circumradius")
+			}
+			circles = append(circles, circ)
+		}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				pts, _ := CircleIntersections(circles[i], circles[j])
+				k := 3 - i - j
+				for _, p := range pts {
+					if circles[k].ContainsStrict(p) && circles[k].C.Dist(p) < circles[k].R-1e-6 {
+						t.Fatalf("triple intersection found at %v for radius %v > circumradius %v",
+							p, bigR, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 5 of the paper: let circles ∂B₁, ∂B₂ intersect at a and d, let
+// ac′ and ab′ be diameters of B₁ and B₂, and let c (resp. b) lie on the
+// arc c′d of ∂B₁ (resp. b′d of ∂B₂) [the arcs away from the other
+// circle]. If ∠cab is obtuse then ‖b − c‖ > 2·min(r₁, r₂). We verify the
+// inequality on random configurations satisfying the hypotheses.
+func TestLemma5ObtuseChordBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	checked := 0
+	for checked < 300 {
+		// Two intersecting circles.
+		r1 := 0.5 + rng.Float64()*2
+		r2 := 0.5 + rng.Float64()*2
+		dist := math.Abs(r1-r2) + 0.05 + rng.Float64()*(r1+r2-math.Abs(r1-r2)-0.1)
+		c1 := Pt(0, 0)
+		c2 := Pt(dist, 0)
+		pts, ok := CircleIntersections(Disk{c1, r1}, Disk{c2, r2})
+		if !ok || len(pts) != 2 {
+			continue
+		}
+		a, d := pts[0], pts[1]
+		// Diameters from a.
+		cPrime := c1.Scale(2).Sub(a) // antipode of a on ∂B₁
+		bPrime := c2.Scale(2).Sub(a) // antipode of a on ∂B₂
+		// Sample c on the arc of ∂B₁ from c′ to d not containing a, and b
+		// on the arc of ∂B₂ from b′ to d not containing a: interpolate the
+		// central angle from the antipode toward d on the side away from a.
+		sampleArc := func(center Point, r float64, from, to Point) Point {
+			af := from.Sub(center).Angle()
+			at := to.Sub(center).Angle()
+			deltaCCW := CCWDelta(af, at)
+			tFrac := rng.Float64()
+			var theta float64
+			if deltaCCW <= math.Pi {
+				theta = af + tFrac*deltaCCW
+			} else {
+				theta = af - tFrac*(TwoPi-deltaCCW)
+			}
+			return Pt(center.X+r*math.Cos(theta), center.Y+r*math.Sin(theta))
+		}
+		c := sampleArc(c1, r1, cPrime, d)
+		b := sampleArc(c2, r2, bPrime, d)
+		// Hypothesis: ∠cab strictly obtuse (with margin for robustness).
+		va := c.Sub(a)
+		vb := b.Sub(a)
+		cosAngle := va.Dot(vb) / (va.Norm() * vb.Norm())
+		if cosAngle > -0.05 {
+			continue
+		}
+		checked++
+		if got, want := b.Dist(c), 2*math.Min(r1, r2); got <= want-1e-9 {
+			t.Fatalf("Lemma 5 violated: ‖b−c‖ = %v ≤ 2·min(r₁,r₂) = %v\n"+
+				"r1=%v r2=%v dist=%v a=%v b=%v c=%v", got, want, r1, r2, dist, a, b, c)
+		}
+	}
+}
+
+func TestEdgeCircleOutside(t *testing.T) {
+	p, q, opp := Pt(0, 0), Pt(2, 0), Pt(1, 1)
+	d, ok := EdgeCircleOutside(p, q, opp, 1.5)
+	if !ok {
+		t.Fatal("radius 1.5 > chord/2 = 1, circle must exist")
+	}
+	if !d.OnBoundary(p) || !d.OnBoundary(q) {
+		t.Errorf("chord endpoints must be on the circle: %v", d)
+	}
+	if d.C.Y >= 0 {
+		t.Errorf("center must be on the side away from opp: %v", d.C)
+	}
+	if _, ok := EdgeCircleOutside(p, q, opp, 0.5); ok {
+		t.Error("radius below half the chord must fail")
+	}
+}

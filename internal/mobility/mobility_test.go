@@ -1,0 +1,249 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+func testConfig() WaypointConfig {
+	return WaypointConfig{Side: 12.5, SpeedMin: 0.5, SpeedMax: 1.5, PauseMax: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []WaypointConfig{
+		{Side: 0, SpeedMin: 1, SpeedMax: 2},
+		{Side: 10, SpeedMin: 0, SpeedMax: 2},
+		{Side: 10, SpeedMin: 2, SpeedMax: 1},
+		{Side: 10, SpeedMin: 1, SpeedMax: 2, PauseMax: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func deployNodes(t *testing.T, seed int64) []network.Node {
+	t.Helper()
+	nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Heterogeneous, 8),
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+func TestStepKeepsNodesInRegion(t *testing.T) {
+	nodes := deployNodes(t, 1)
+	m, err := NewModel(testConfig(), nodes, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 50; step++ {
+		m.Step(0.7)
+		for _, n := range m.Nodes() {
+			if n.Pos.X < -geom.Eps || n.Pos.X > 12.5+geom.Eps ||
+				n.Pos.Y < -geom.Eps || n.Pos.Y > 12.5+geom.Eps {
+				t.Fatalf("step %d: node %d escaped to %v", step, n.ID, n.Pos)
+			}
+		}
+	}
+}
+
+func TestStepRespectsSpeedLimit(t *testing.T) {
+	nodes := deployNodes(t, 3)
+	cfg := testConfig()
+	cfg.PauseMax = 0
+	m, err := NewModel(cfg, nodes, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.5
+	for step := 0; step < 30; step++ {
+		before := m.Nodes()
+		m.Step(dt)
+		after := m.Nodes()
+		for i := range before {
+			moved := before[i].Pos.Dist(after[i].Pos)
+			// A node may turn at a waypoint mid-step; the travelled path is
+			// still bounded by SpeedMax·dt, and displacement by the path.
+			if moved > cfg.SpeedMax*dt+geom.Eps {
+				t.Fatalf("node %d moved %g > max %g", i, moved, cfg.SpeedMax*dt)
+			}
+		}
+	}
+}
+
+func TestStepPreservesIdentityAndRadius(t *testing.T) {
+	nodes := deployNodes(t, 5)
+	m, err := NewModel(testConfig(), nodes, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(3)
+	after := m.Nodes()
+	for i := range nodes {
+		if after[i].ID != nodes[i].ID || after[i].Radius != nodes[i].Radius {
+			t.Fatalf("node %d identity or radius changed", i)
+		}
+	}
+}
+
+func TestPausedNodesEventuallyMove(t *testing.T) {
+	nodes := deployNodes(t, 7)
+	m, err := NewModel(testConfig(), nodes, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := m.Nodes()
+	total := 0.0
+	for total < 20 { // far beyond PauseMax
+		m.Step(1)
+		total++
+	}
+	moved := 0
+	for i, n := range m.Nodes() {
+		if n.Pos.Dist(start[i].Pos) > 0.1 {
+			moved++
+		}
+	}
+	if moved < len(nodes)/2 {
+		t.Errorf("only %d of %d nodes moved after 20 time units", moved, len(nodes))
+	}
+}
+
+func TestChurnIdenticalGraphs(t *testing.T) {
+	nodes := deployNodes(t, 9)
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Churn(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OneHopChanged != 0 || r.TwoHopChanged != 0 ||
+		r.OneHopEntryDiff != 0 || r.TwoHopEntryDiff != 0 {
+		t.Errorf("identical graphs report churn: %+v", r)
+	}
+}
+
+func TestChurnDetectsChange(t *testing.T) {
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 1.2},
+		{ID: 1, Pos: geom.Pt(1, 0), Radius: 1.2},
+		{ID: 2, Pos: geom.Pt(2, 0), Radius: 1.2},
+	}
+	before, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := append([]network.Node(nil), nodes...)
+	moved[2].Pos = geom.Pt(1.0, 0.5) // 2 comes into range of 0 (dist ≈ 1.118 ≤ 1.2)
+	after, err := network.Build(moved, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Churn(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OneHopChanged == 0 || r.OneHopEntryDiff == 0 {
+		t.Errorf("expected 1-hop churn: %+v", r)
+	}
+	// Node 1's 1-hop set is unchanged only if 0 and 2 were already its
+	// neighbors — they were; but its 2-hop set shrinks (2 was 2-hop of 0).
+	if r.TwoHopChanged == 0 {
+		t.Errorf("expected 2-hop churn: %+v", r)
+	}
+	if _, err := Churn(before, mustBuild(t, nodes[:2])); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func mustBuild(t *testing.T, nodes []network.Node) *network.Graph {
+	t.Helper()
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The central claim (§5.1.1): under movement, keeping 2-hop tables fresh
+// costs strictly more HELLO traffic than keeping 1-hop tables fresh.
+func TestMaintenanceCostOrdering(t *testing.T) {
+	nodes := deployNodes(t, 10)
+	m, err := NewModel(testConfig(), nodes, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.Graph(network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(2)
+	after, err := m.Graph(network.Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, two, err := MaintenanceCost(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one <= 0 {
+		t.Error("1-hop maintenance must cost beacons")
+	}
+	if two <= one {
+		t.Errorf("2-hop maintenance (%d entries) must exceed 1-hop (%d) after movement", two, one)
+	}
+	if _, _, err := MaintenanceCost(before, mustBuild(t, nodes[:2])); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestSymmetricDiff(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want int
+	}{
+		{nil, nil, 0},
+		{[]int{1, 2}, nil, 2},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 2},
+		{[]int{1, 2}, []int{1, 2}, 0},
+		{[]int{1}, []int{2}, 2},
+	}
+	for _, c := range cases {
+		if got := symmetricDiff(c.a, c.b); got != c.want {
+			t.Errorf("symmetricDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	nodes := deployNodes(t, 12)
+	run := func() []network.Node {
+		m, err := NewModel(testConfig(), nodes, rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			m.Step(0.9)
+		}
+		return m.Nodes()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if math.Abs(a[i].Pos.X-b[i].Pos.X) > 0 || math.Abs(a[i].Pos.Y-b[i].Pos.Y) > 0 {
+			t.Fatalf("node %d position differs between identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Dynamic topology maintenance: MoveNode relocates one node and patches
+// the adjacency incrementally instead of rebuilding the whole graph —
+// the natural operation for mobile ad hoc networks, where one HELLO
+// interval typically moves a few nodes a short distance. The cost is
+// O(candidates + degree) per move versus O(n·degree) for a rebuild.
+
+// MoveNode relocates node u to pos and updates all affected adjacency
+// lists. The node's radius is unchanged. The graph must have been built
+// by Build (which records the spatial index).
+func (g *Graph) MoveNode(u int, pos geom.Point) error {
+	if u < 0 || u >= len(g.nodes) {
+		return fmt.Errorf("network: node %d out of range [0, %d)", u, len(g.nodes))
+	}
+	if g.grid == nil {
+		return fmt.Errorf("network: graph has no spatial index (zero-node graph?)")
+	}
+
+	// Detach u from its current neighbors' lists.
+	for _, v := range g.out[u] {
+		g.in[v] = removeSorted(g.in[v], u)
+	}
+	for _, v := range g.in[u] {
+		g.out[v] = removeSorted(g.out[v], u)
+	}
+	g.out[u] = g.out[u][:0]
+	g.in[u] = g.in[u][:0]
+
+	// Relocate.
+	g.nodes[u].Pos = pos
+	g.grid.Move(u, pos)
+
+	// Recompute u's edges. Out-edges: nodes within u's radius (mutual
+	// range under the bidirectional model). In-edges: nodes whose radius
+	// reaches u; candidates come from a maxR query.
+	self := g.nodes[u]
+	g.grid.VisitWithin(pos, g.maxR, func(v int) {
+		if v == u {
+			return
+		}
+		d := pos.Dist(g.nodes[v].Pos)
+		uReaches := d <= self.Radius+geom.Eps
+		vReaches := d <= g.nodes[v].Radius+geom.Eps
+		if g.model == Bidirectional {
+			if uReaches && vReaches {
+				g.out[u] = append(g.out[u], v)
+				g.out[v] = insertSorted(g.out[v], u)
+				g.in[u] = append(g.in[u], v)
+				g.in[v] = insertSorted(g.in[v], u)
+			}
+			return
+		}
+		if uReaches {
+			g.out[u] = append(g.out[u], v)
+			g.in[v] = insertSorted(g.in[v], u)
+		}
+		if vReaches {
+			g.in[u] = append(g.in[u], v)
+			g.out[v] = insertSorted(g.out[v], u)
+		}
+	})
+	sort.Ints(g.out[u])
+	sort.Ints(g.in[u])
+	return nil
+}
+
+// removeSorted deletes x from a sorted slice, preserving order.
+func removeSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// insertSorted inserts x into a sorted slice if absent, preserving order.
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}

@@ -1,0 +1,56 @@
+package skyline
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Area returns the exact area of the union of the local disk set the
+// skyline was computed from. Because the union is star-shaped around the
+// hub, it decomposes into one "pie slice" per skyline arc: the triangle
+// spanned by the hub and the arc's endpoints, plus the circular segment
+// between the chord and the arc. Both have closed forms, so the area is
+// exact up to floating-point rounding — no sampling involved.
+//
+// disks must be the slice the skyline was computed over (hub frame).
+func (s Skyline) Area(disks []geom.Disk) float64 {
+	total := 0.0
+	for _, a := range s {
+		// Subdivide so each piece's central sweep stays strictly inside
+		// (0, 2π): a full-circle arc has coincident endpoints whose chord
+		// carries no orientation, which would fold the central angle to 0.
+		pieces := int(math.Ceil(a.Span() / (math.Pi / 2)))
+		if pieces < 1 {
+			pieces = 1
+		}
+		step := a.Span() / float64(pieces)
+		for k := 0; k < pieces; k++ {
+			lo := a.Start + float64(k)*step
+			hi := lo + step
+			if k == pieces-1 {
+				hi = a.End
+			}
+			total += sliceArea(disks[a.Disk], lo, hi)
+		}
+	}
+	return total
+}
+
+// sliceArea computes the area of the region bounded by the two rays from
+// the origin at angles a1, a2 and the arc of disk d between them (the arc
+// being the far boundary, per the skyline construction).
+func sliceArea(d geom.Disk, a1, a2 float64) float64 {
+	p1 := geom.Unit(a1).Scale(d.RayDist(a1))
+	p2 := geom.Unit(a2).Scale(d.RayDist(a2))
+	// Triangle (o, p1, p2): half the cross product. The skyline walks
+	// counterclockwise, so the cross product is non-negative up to
+	// rounding.
+	tri := p1.Cross(p2) / 2
+	// Circular segment between chord p1→p2 and the arc, measured at the
+	// disk's own center. The central angle is the ccw sweep from p1 to p2
+	// around d.C; Corollary 2 keeps it in [0, 2π).
+	phi := geom.CCWDelta(p1.Sub(d.C).Angle(), p2.Sub(d.C).Angle())
+	seg := d.R * d.R / 2 * (phi - math.Sin(phi))
+	return tri + seg
+}

@@ -1,0 +1,178 @@
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Compute builds the skyline of a local disk set with the paper's
+// divide-and-conquer algorithm (procedure Skyline, §3.4): split the disk
+// set in half, recursively compute the two skylines, and Merge them. With
+// the ≤ 2n arc bound of Lemma 8 the merge is linear, so the whole
+// computation takes O(n log n) time — optimal (Theorem 9).
+//
+// The disks must all contain the origin (the hub's frame); otherwise
+// ErrNotLocalDiskSet is returned.
+func Compute(disks []geom.Disk) (Skyline, error) {
+	if err := checkLocal(disks); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(disks))
+	for i := range idx {
+		idx[i] = i
+	}
+	return compute(disks, idx), nil
+}
+
+// compute is the recursive core, operating on a window of disk indices.
+func compute(disks []geom.Disk, idx []int) Skyline {
+	if len(idx) == 1 {
+		return single(idx[0])
+	}
+	mid := len(idx) / 2
+	left := compute(disks, idx[:mid])
+	right := compute(disks, idx[mid:])
+	return Merge(disks, left, right)
+}
+
+// ComputeNoCombine is Compute with Step 3 of Merge (re-combining adjacent
+// arcs from the same disk) disabled at every level of the recursion. The
+// result describes the same envelope but may carry redundantly split arcs.
+// It exists solely for the A1 ablation in DESIGN.md: the paper notes that
+// Step 3 "could reduce the overhead in splitting skyline lists", and this
+// variant quantifies that claim. Production callers should use Compute.
+func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
+	if err := checkLocal(disks); err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(disks))
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(idx []int) Skyline
+	rec = func(idx []int) Skyline {
+		if len(idx) == 1 {
+			return single(idx[0])
+		}
+		mid := len(idx) / 2
+		return mergeNoCombine(disks, rec(idx[:mid]), rec(idx[mid:]))
+	}
+	return rec(idx), nil
+}
+
+// Merge combines two skylines over the same disk slice into the skyline of
+// the union of their disk sets. It follows the paper's three steps:
+//
+//  1. Align the two arc lists on the union of their breakpoint angles, so
+//     that within each elementary span exactly one disk is active per side.
+//  2. Within each span, resolve the paper's three cases — the two active
+//     arcs either do not cross, cross once, or cross twice — by cutting the
+//     span at the (far-root-consistent) circle–circle intersection angles
+//     and picking the outer arc on each piece.
+//  3. Re-combine adjacent arcs contributed by the same disk.
+//
+// Both inputs must be valid skylines (contiguous over [0, 2π)).
+func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
+	return merge(disks, s1, s2, true)
+}
+
+// mergeNoCombine merges without coalescing same-disk neighbors, for the A1
+// ablation (see ComputeNoCombine).
+func mergeNoCombine(disks []geom.Disk, s1, s2 Skyline) Skyline {
+	return merge(disks, s1, s2, false)
+}
+
+func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
+	// Step 1: merged breakpoint sequence.
+	bps := make([]float64, 0, len(s1)+len(s2)+2)
+	for _, a := range s1 {
+		bps = append(bps, a.Start)
+	}
+	for _, a := range s2 {
+		bps = append(bps, a.Start)
+	}
+	bps = append(bps, geom.TwoPi)
+	sort.Float64s(bps)
+	bps = dedupeAngles(bps)
+	if len(bps) == 0 || bps[0] > geom.AngleEps {
+		bps = append([]float64{0}, bps...)
+	} else {
+		bps[0] = 0
+	}
+	bps[len(bps)-1] = geom.TwoPi
+
+	out := make(Skyline, 0, len(s1)+len(s2))
+	i1, i2 := 0, 0
+	for k := 0; k+1 < len(bps); k++ {
+		a, b := bps[k], bps[k+1]
+		if b-a <= geom.AngleEps {
+			continue
+		}
+		m := (a + b) / 2
+		for i1 < len(s1)-1 && s1[i1].End <= m {
+			i1++
+		}
+		for i2 < len(s2)-1 && s2[i2].End <= m {
+			i2++
+		}
+		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce)
+	}
+	if len(out) == 0 {
+		// Degenerate: all spans were slivers. Fall back to whichever disk
+		// wins at an arbitrary angle.
+		win := winner(disks, s1[0].Disk, s2[0].Disk, 1.0)
+		return single(win)
+	}
+	out[0].Start = 0
+	out[len(out)-1].End = geom.TwoPi
+
+	if !coalesce {
+		return out
+	}
+	// Step 3: coalesce same-disk neighbors and drop slivers.
+	return out.Combine()
+}
+
+// resolveSpan appends to out the skyline arcs of the span [a, b] on which
+// disk u is active in one input skyline and disk v in the other. This is
+// the paper's Case 1/2/3 analysis: cut the span at the crossings of the two
+// ρ curves (0, 1, or 2 of them) and keep the outer disk on each piece.
+func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesce bool) Skyline {
+	if u == v {
+		return appendArc(out, a, b, u, coalesce)
+	}
+	var cuts [8]float64
+	n := 0
+	cuts[n] = a
+	n++
+	cands, cn := crossingAngles(disks, u, v)
+	for _, c := range cands[:cn] {
+		if geom.AngleStrictlyInSpan(c, a, b) {
+			cuts[n] = c
+			n++
+		}
+	}
+	cuts[n] = b
+	n++
+	// Candidate angles arrive in unspecified order.
+	sort.Float64s(cuts[1 : n-1])
+	for k := 0; k+1 < n; k++ {
+		lo, hi := cuts[k], cuts[k+1]
+		if hi-lo <= geom.AngleEps {
+			continue
+		}
+		out = appendArc(out, lo, hi, winner(disks, u, v, (lo+hi)/2), coalesce)
+	}
+	return out
+}
+
+// appendArc appends the arc [a, b] for the given disk; with coalesce it
+// extends the previous arc instead when it comes from the same disk.
+func appendArc(out Skyline, a, b float64, disk int, coalesce bool) Skyline {
+	if coalesce && len(out) > 0 && out[len(out)-1].Disk == disk {
+		out[len(out)-1].End = b
+		return out
+	}
+	return append(out, Arc{Start: a, End: b, Disk: disk})
+}

@@ -1,0 +1,137 @@
+package skyline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Errors returned by the skyline constructors.
+var (
+	// ErrEmptySet is returned when no disks are supplied.
+	ErrEmptySet = errors.New("skyline: empty disk set")
+	// ErrNotLocalDiskSet is returned when some disk does not contain the
+	// hub (the origin), so the star-shape property the algorithm relies on
+	// does not hold.
+	ErrNotLocalDiskSet = errors.New("skyline: disk does not contain the hub")
+	// ErrInvalidRadius is returned for non-positive or non-finite radii.
+	ErrInvalidRadius = errors.New("skyline: disk radius must be positive and finite")
+)
+
+// tieEps is the tolerance below which two envelope values are considered
+// equal and broken by the canonical tie-break (larger radius, then lower
+// index). It is looser than geom.Eps because ρ values accumulate a sqrt and
+// a dot product of rounding error.
+const tieEps = 1e-9
+
+// checkLocal validates that the disks form a local disk set in the
+// hub-at-origin frame.
+func checkLocal(disks []geom.Disk) error {
+	if len(disks) == 0 {
+		return ErrEmptySet
+	}
+	for i, d := range disks {
+		if !(d.R > 0) || math.IsInf(d.R, 0) || math.IsNaN(d.R) {
+			return fmt.Errorf("%w: disk %d has radius %g", ErrInvalidRadius, i, d.R)
+		}
+		if !d.ContainsOrigin() {
+			return fmt.Errorf("%w: disk %d = %v (‖center‖ = %g > r = %g)",
+				ErrNotLocalDiskSet, i, d, d.C.Norm(), d.R)
+		}
+	}
+	return nil
+}
+
+// Rho evaluates the skyline envelope at angle theta: the maximum ray
+// distance over all disks, together with the index of the winning disk
+// under the canonical tie-break. The disks must form a local disk set.
+func Rho(disks []geom.Disk, theta float64) (float64, int) {
+	best := math.Inf(-1)
+	arg := -1
+	for i, d := range disks {
+		r := d.RayDist(theta)
+		if arg < 0 || r > best+tieEps {
+			best, arg = r, i
+			continue
+		}
+		if r >= best-tieEps && betterTie(disks, i, arg) {
+			best, arg = math.Max(r, best), i
+		}
+	}
+	return best, arg
+}
+
+// betterTie reports whether disk i beats disk j under the canonical
+// tie-break used when two disks have equal ray distance at an angle:
+// larger radius first, then lower index. A deterministic rule keeps every
+// algorithm in this package producing the same skyline on tied inputs
+// (e.g. duplicate disks).
+func betterTie(disks []geom.Disk, i, j int) bool {
+	if disks[i].R != disks[j].R {
+		return disks[i].R > disks[j].R
+	}
+	return i < j
+}
+
+// winner returns the index (i or j) of the disk with the larger ray
+// distance at theta, applying the canonical tie-break when the values are
+// within tieEps.
+func winner(disks []geom.Disk, i, j int, theta float64) int {
+	ri := disks[i].RayDist(theta)
+	rj := disks[j].RayDist(theta)
+	switch {
+	case ri > rj+tieEps:
+		return i
+	case rj > ri+tieEps:
+		return j
+	case betterTie(disks, i, j):
+		return i
+	default:
+		return j
+	}
+}
+
+// crossingAngles returns candidate angles (measured at the origin, in
+// [0, 2π)) at which the envelope curves ρ_i and ρ_j may cross. Generic
+// crossings are the circle–circle intersection points of disks i and j
+// that are the far ray intersection for both circles — at most two.
+//
+// One degenerate family needs extra candidates: a disk whose boundary
+// passes exactly through the hub (‖c‖ = r) has ρ ≡ 0 on the closed
+// half-circle facing away from its center, so two such disks' curves can
+// be *equal on an interval*, with transitions at the zero-set boundaries
+// angle(c) ± π/2 rather than at any circle intersection. Those angles are
+// appended as candidates; spurious candidates are harmless (the merge
+// re-evaluates the winner on every sub-span).
+func crossingAngles(disks []geom.Disk, i, j int) (out [6]float64, n int) {
+	var buf [2]geom.Point
+	cnt, ok := geom.IntersectCircles(disks[i], disks[j], &buf)
+	if ok {
+		for _, p := range buf[:cnt] {
+			theta := p.Angle()
+			dist := p.Norm()
+			// Far-root consistency: the crossing of the ρ curves happens
+			// only where this intersection point is the *far* intersection
+			// of the ray with both circles. The tolerance is proportional
+			// to the local scale to absorb the sqrt in RayDist.
+			tol := 1e-7 * (1 + dist)
+			if math.Abs(disks[i].RayDist(theta)-dist) <= tol &&
+				math.Abs(disks[j].RayDist(theta)-dist) <= tol {
+				out[n] = theta
+				n++
+			}
+		}
+	}
+	for _, d := range [2]geom.Disk{disks[i], disks[j]} {
+		if math.Abs(d.C.Norm()-d.R) <= geom.Eps {
+			a := d.C.Angle()
+			out[n] = geom.NormalizeAngle(a + math.Pi/2)
+			n++
+			out[n] = geom.NormalizeAngle(a - math.Pi/2)
+			n++
+		}
+	}
+	return out, n
+}

@@ -1,0 +1,110 @@
+package skyline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// ComputeIncremental builds the skyline by inserting disks one at a time in
+// decreasing radius order, the arrangement used in the proof of Lemma 8:
+// when disks are inserted largest-first, each insertion adds at most two
+// arcs to the skyline, so the intermediate skylines stay small. Each
+// insertion is a Merge against a single-arc skyline, giving O(n²) worst
+// case but near-linear behavior on the paper's workloads. Included both as
+// an independently-implemented cross-check of the divide-and-conquer
+// algorithm and for the insertion-order ablation (DESIGN.md A2).
+func ComputeIncremental(disks []geom.Disk) (Skyline, error) {
+	order := DecreasingRadiusOrder(disks)
+	return ComputeIncrementalOrder(disks, order)
+}
+
+// DecreasingRadiusOrder returns disk indices sorted by decreasing radius,
+// ties broken by increasing index.
+func DecreasingRadiusOrder(disks []geom.Disk) []int {
+	order := make([]int, len(disks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return disks[order[a]].R > disks[order[b]].R
+	})
+	return order
+}
+
+// ComputeIncrementalOrder inserts the disks in the given order (a
+// permutation of 0..len(disks)-1). The resulting envelope is independent of
+// the order; only the sizes of the intermediate skylines differ.
+func ComputeIncrementalOrder(disks []geom.Disk, order []int) (Skyline, error) {
+	if err := checkLocal(disks); err != nil {
+		return nil, err
+	}
+	if err := checkPermutation(order, len(disks)); err != nil {
+		return nil, err
+	}
+	sl := single(order[0])
+	for _, i := range order[1:] {
+		sl = Merge(disks, sl, single(i))
+	}
+	return sl, nil
+}
+
+// InsertDisk updates a skyline for one additional disk without
+// recomputing from scratch: the dynamic-neighborhood operation (a new
+// neighbor appears in HELLO). disks must be the slice the skyline was
+// computed over WITH the new disk already appended (the returned arcs
+// reference it by index len(disks)−1). Runs in O(current arcs).
+func InsertDisk(disks []geom.Disk, sl Skyline) (Skyline, error) {
+	if len(disks) == 0 {
+		return nil, ErrEmptySet
+	}
+	i := len(disks) - 1
+	d := disks[i]
+	if !(d.R > 0) {
+		return nil, ErrInvalidRadius
+	}
+	if !d.ContainsOrigin() {
+		return nil, ErrNotLocalDiskSet
+	}
+	if err := sl.Validate(i); err != nil {
+		return nil, fmt.Errorf("skyline: InsertDisk on invalid skyline: %w", err)
+	}
+	return Merge(disks, sl, single(i)), nil
+}
+
+// IncrementalArcGrowth inserts disks in the given order and records the
+// arc count of the skyline after every insertion. Used by the A2 ablation
+// to contrast decreasing-radius insertion (arc count ≤ 2k after k
+// insertions, per Lemma 8) with arbitrary orders (arc count can jump by k
+// in one step, per the paper's §4.1 counterexample).
+func IncrementalArcGrowth(disks []geom.Disk, order []int) ([]int, error) {
+	if err := checkLocal(disks); err != nil {
+		return nil, err
+	}
+	if err := checkPermutation(order, len(disks)); err != nil {
+		return nil, err
+	}
+	counts := make([]int, 0, len(order))
+	sl := single(order[0])
+	counts = append(counts, sl.ArcCount())
+	for _, i := range order[1:] {
+		sl = Merge(disks, sl, single(i))
+		counts = append(counts, sl.ArcCount())
+	}
+	return counts, nil
+}
+
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("skyline: order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("skyline: order is not a permutation of 0..%d", n-1)
+		}
+		seen[i] = true
+	}
+	return nil
+}

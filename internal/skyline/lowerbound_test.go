@@ -1,0 +1,80 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The paper's optimality claim (Theorem 9 with the lower bound inherited
+// from Sun et al.) rests on a reduction from sorting: n equal-radius disks
+// whose centers sit at distinct angles on a circle around the hub each
+// contribute exactly one skyline arc, and the counterclockwise order of
+// those arcs is the sorted order of the angles. Any skyline algorithm
+// therefore sorts n reals, so Ω(n log n) comparisons are unavoidable.
+// This test executes the reduction: it sorts random angle sets with the
+// skyline algorithm and checks the result against sort.Float64s.
+func TestSortingReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		angles := make([]float64, n)
+		for i := range angles {
+			angles[i] = rng.Float64() * geom.TwoPi
+		}
+
+		// Build the reduction instance: unit disks at distance 1/2, one
+		// per input angle.
+		disks := make([]geom.Disk, n)
+		for i, a := range angles {
+			disks[i] = geom.Disk{C: geom.Unit(a).Scale(0.5), R: 1}
+		}
+		sl, err := Compute(disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Every disk must contribute exactly one geometric arc.
+		if got := sl.ArcCount(); got != n {
+			t.Fatalf("trial %d: %d arcs for %d equal disks on a circle", trial, got, n)
+		}
+
+		// Read the angles back in skyline (ccw) order, starting from the
+		// arc that owns the smallest input angle.
+		var order []int
+		seen := make(map[int]bool)
+		for _, a := range sl {
+			if !seen[a.Disk] {
+				seen[a.Disk] = true
+				order = append(order, a.Disk)
+			}
+		}
+		if len(order) != n {
+			t.Fatalf("trial %d: skyline set has %d disks, want %d", trial, len(order), n)
+		}
+		recovered := make([]float64, n)
+		for k, idx := range order {
+			recovered[k] = angles[idx]
+		}
+		// The sequence is sorted up to rotation (the skyline starts at the
+		// positive x-axis, not at the minimum). Rotate so the minimum is
+		// first, then compare with the sorted input.
+		minAt := 0
+		for k, v := range recovered {
+			if v < recovered[minAt] {
+				minAt = k
+			}
+		}
+		rotated := append(append([]float64(nil), recovered[minAt:]...), recovered[:minAt]...)
+		want := append([]float64(nil), angles...)
+		sort.Float64s(want)
+		for k := range want {
+			if rotated[k] != want[k] {
+				t.Fatalf("trial %d: skyline order is not sorted order\n got %v\nwant %v",
+					trial, rotated, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package skyline
+
+import (
+	"runtime"
+
+	"repro/internal/geom"
+)
+
+// parallelCutoff is the subproblem size below which the parallel variant
+// stops spawning goroutines and runs sequentially. Merging skylines of a
+// few dozen arcs is far cheaper than goroutine scheduling.
+const parallelCutoff = 256
+
+// ComputeParallel is Compute with the top levels of the divide-and-conquer
+// recursion fanned out across goroutines. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0). The result is identical to Compute; only the wall
+// time differs, and only for large inputs (thousands of disks).
+func ComputeParallel(disks []geom.Disk, workers int) (Skyline, error) {
+	if err := checkLocal(disks); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := 0
+	for w := 1; w < workers; w *= 2 {
+		depth++
+	}
+	idx := make([]int, len(disks))
+	for i := range idx {
+		idx[i] = i
+	}
+	return computeParallel(disks, idx, depth), nil
+}
+
+func computeParallel(disks []geom.Disk, idx []int, depth int) Skyline {
+	if depth == 0 || len(idx) <= parallelCutoff {
+		return compute(disks, idx)
+	}
+	mid := len(idx) / 2
+	ch := make(chan Skyline, 1)
+	go func() {
+		ch <- computeParallel(disks, idx[:mid], depth-1)
+	}()
+	right := computeParallel(disks, idx[mid:], depth-1)
+	left := <-ch
+	return Merge(disks, left, right)
+}

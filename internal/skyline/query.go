@@ -1,0 +1,67 @@
+package skyline
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Query operations on a computed skyline. Because the union of a local
+// disk set is star-shaped around the hub, the skyline answers geometric
+// queries about the whole union in O(log n) after the O(n log n)
+// construction — membership, boundary distance, and exact perimeter —
+// without revisiting the disks that were buried under the envelope.
+
+// RadialDistance returns ρ(θ): the distance from the hub to the union's
+// boundary along the ray at angle theta. disks must be the slice the
+// skyline was computed over (hub frame).
+func (s Skyline) RadialDistance(disks []geom.Disk, theta float64) float64 {
+	return disks[s.DiskAt(theta)].RayDist(geom.NormalizeAngle(theta))
+}
+
+// Contains reports whether point p (hub frame) lies in the union of the
+// disks, by comparing its distance from the hub against the envelope at
+// its angle — an O(log n) point-location query.
+func (s Skyline) Contains(disks []geom.Disk, p geom.Point) bool {
+	r := p.Norm()
+	if r <= geom.Eps {
+		return true // the hub is in every disk of a local set
+	}
+	return r <= s.RadialDistance(disks, p.Angle())+geom.Eps
+}
+
+// Perimeter returns the exact length of the union's boundary: each arc
+// contributes r·φ where φ is its central angle at the owning disk's
+// center. Like Area, this is closed-form — no sampling.
+func (s Skyline) Perimeter(disks []geom.Disk) float64 {
+	total := 0.0
+	for _, a := range s {
+		// Subdivide like Area does, so a full-circle arc's central angle
+		// is accumulated piecewise rather than folding to zero.
+		pieces := int(math.Ceil(a.Span() / (math.Pi / 2)))
+		if pieces < 1 {
+			pieces = 1
+		}
+		step := a.Span() / float64(pieces)
+		d := disks[a.Disk]
+		for k := 0; k < pieces; k++ {
+			lo := a.Start + float64(k)*step
+			hi := lo + step
+			if k == pieces-1 {
+				hi = a.End
+			}
+			p1 := geom.Unit(lo).Scale(d.RayDist(lo))
+			p2 := geom.Unit(hi).Scale(d.RayDist(hi))
+			phi := geom.CCWDelta(p1.Sub(d.C).Angle(), p2.Sub(d.C).Angle())
+			total += d.R * phi
+		}
+	}
+	return total
+}
+
+// BoundaryPoint returns the point of the union's boundary at angle theta
+// (hub frame).
+func (s Skyline) BoundaryPoint(disks []geom.Disk, theta float64) geom.Point {
+	theta = geom.NormalizeAngle(theta)
+	return geom.Unit(theta).Scale(s.RadialDistance(disks, theta))
+}

@@ -1,0 +1,105 @@
+// Package spatial provides a uniform-grid spatial index used to build disk
+// graphs in near-linear time: each point is hashed to a square cell, and a
+// radius query scans only the cells overlapping the query disk instead of
+// every point.
+package spatial
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform-cell spatial hash over a fixed set of points.
+type Grid struct {
+	cell  float64
+	pts   []geom.Point
+	cells map[cellKey][]int
+}
+
+type cellKey struct{ x, y int }
+
+// NewGrid indexes the points with the given cell size. A good cell size is
+// the typical query radius; it must be positive.
+func NewGrid(pts []geom.Point, cell float64) *Grid {
+	if !(cell > 0) {
+		panic("spatial: cell size must be positive")
+	}
+	g := &Grid{
+		cell:  cell,
+		pts:   append([]geom.Point(nil), pts...),
+		cells: make(map[cellKey][]int, len(pts)),
+	}
+	for i, p := range pts {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *Grid) key(p geom.Point) cellKey {
+	return cellKey{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Move relocates point i to p, updating the index. The grid stores its
+// own copy of the coordinates, so the caller's slice is not modified.
+func (g *Grid) Move(i int, p geom.Point) {
+	if i < 0 || i >= len(g.pts) {
+		panic("spatial: index out of range")
+	}
+	old := g.key(g.pts[i])
+	g.pts[i] = p
+	nk := g.key(p)
+	if old == nk {
+		return
+	}
+	cell := g.cells[old]
+	for j, idx := range cell {
+		if idx == i {
+			cell[j] = cell[len(cell)-1]
+			cell = cell[:len(cell)-1]
+			break
+		}
+	}
+	if len(cell) == 0 {
+		delete(g.cells, old)
+	} else {
+		g.cells[old] = cell
+	}
+	g.cells[nk] = append(g.cells[nk], i)
+}
+
+// Within returns the indices of all points p with ‖p − q‖ ≤ radius,
+// in unspecified order.
+func (g *Grid) Within(q geom.Point, radius float64) []int {
+	var out []int
+	g.VisitWithin(q, radius, func(i int) {
+		out = append(out, i)
+	})
+	return out
+}
+
+// VisitWithin calls fn for every point within radius of q. It allocates
+// nothing beyond what fn does, making it suitable for hot loops.
+func (g *Grid) VisitWithin(q geom.Point, radius float64, fn func(i int)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	x0 := int(math.Floor((q.X - radius) / g.cell))
+	x1 := int(math.Floor((q.X + radius) / g.cell))
+	y0 := int(math.Floor((q.Y - radius) / g.cell))
+	y1 := int(math.Floor((q.Y + radius) / g.cell))
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for _, i := range g.cells[cellKey{x, y}] {
+				if g.pts[i].Dist2(q) <= r2+geom.Eps {
+					fn(i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestWithinAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*12.5, rng.Float64()*12.5)
+		}
+		g := NewGrid(pts, 0.5+rng.Float64()*2)
+		for q := 0; q < 20; q++ {
+			center := geom.Pt(rng.Float64()*12.5, rng.Float64()*12.5)
+			radius := rng.Float64() * 3
+			got := g.Within(center, radius)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if p.Dist(center) <= radius+geom.Eps {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: Within returned %d points, brute force %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: Within = %v, want %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinEdgeCases(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}
+	g := NewGrid(pts, 1)
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	// Radius 0 returns only coincident points.
+	got := g.Within(geom.Pt(0, 0), 0)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("radius-0 query = %v", got)
+	}
+	// Negative radius returns nothing.
+	if got := g.Within(geom.Pt(0, 0), -1); got != nil {
+		t.Errorf("negative-radius query = %v", got)
+	}
+	// Boundary inclusion: a point exactly at distance radius is included.
+	got = g.Within(geom.Pt(0, 0), 1)
+	if len(got) != 3 {
+		t.Errorf("unit query = %v, want all 3", got)
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := NewGrid(nil, 1)
+	if g.Len() != 0 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if got := g.Within(geom.Pt(0, 0), 10); got != nil {
+		t.Errorf("query on empty grid = %v", got)
+	}
+}
+
+func TestBadCellSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive cell size")
+		}
+	}()
+	NewGrid(nil, 0)
+}
+
+func TestMoveMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	g := NewGrid(pts, 1)
+	for step := 0; step < 200; step++ {
+		i := rng.Intn(len(pts))
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		g.Move(i, pts[i])
+	}
+	fresh := NewGrid(pts, 1)
+	for q := 0; q < 30; q++ {
+		center := geom.Pt(rng.Float64()*10, rng.Float64()*10)
+		radius := rng.Float64() * 3
+		a := g.Within(center, radius)
+		b := fresh.Within(center, radius)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("moved grid answers %d, fresh %d", len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("moved grid %v, fresh %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMoveDoesNotMutateCaller(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0)}
+	g := NewGrid(pts, 1)
+	g.Move(0, geom.Pt(5, 5))
+	if pts[0] != geom.Pt(0, 0) {
+		t.Error("Move must not mutate the caller's point slice")
+	}
+	if got := g.Within(geom.Pt(5, 5), 0.1); len(got) != 1 {
+		t.Errorf("moved point not found: %v", got)
+	}
+}
+
+func TestMoveOutOfRangePanics(t *testing.T) {
+	g := NewGrid([]geom.Point{{}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g.Move(5, geom.Pt(1, 1))
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	pts := []geom.Point{geom.Pt(-5, -5), geom.Pt(-4.5, -5), geom.Pt(5, 5)}
+	g := NewGrid(pts, 1)
+	got := g.Within(geom.Pt(-5, -5), 0.6)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("negative-coordinate query = %v, want [0 1]", got)
+	}
+}

@@ -1,0 +1,145 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line-chart rendering for experiment figures: pure-stdlib SVG with axes,
+// tick labels, one polyline per series, optional error bars, and a legend.
+// Kept decoupled from the experiments package by accepting plain data.
+
+// ChartSeries is one curve of a line chart.
+type ChartSeries struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64 // optional ±error bars, same length as Y when present
+}
+
+// chartPalette cycles through distinguishable stroke colors.
+var chartPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22",
+}
+
+// LineChart renders the series as an SVG line chart. Width and height are
+// pixel dimensions (≤ 0 selects 720×480).
+func LineChart(title, xLabel, yLabel string, series []ChartSeries, width, height int) string {
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		marginL = 70
+		marginR = 160
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, x := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			y := s.Y[i]
+			e := 0.0
+			if i < len(s.Err) {
+				e = s.Err[i]
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			minY = math.Min(minY, y-e)
+			maxY = math.Max(maxY, y+e)
+		}
+	}
+	if math.IsInf(minX, 1) { // no data
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minY > 0 {
+		minY = 0 // anchor count/size axes at zero
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`,
+		width, height)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`+"\n", marginL, escape(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(xLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, escape(yLabel))
+
+	// Ticks: 5 per axis.
+	for k := 0; k <= 5; k++ {
+		xv := minX + (maxX-minX)*float64(k)/5
+		yv := minY + (maxY-minY)*float64(k)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc"/>`+"\n",
+			px(xv), marginT+plotH, px(xv), float64(marginT))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), marginT+plotH+16, trimNum(xv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eeeeee"/>`+"\n",
+			marginL, py(yv), marginL+plotW, py(yv))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-6, py(yv)+4, trimNum(yv))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := chartPalette[si%len(chartPalette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+			if i < len(s.Err) && s.Err[i] > 0 {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+					px(s.X[i]), py(s.Y[i]-s.Err[i]), px(s.X[i]), py(s.Y[i]+s.Err[i]), color)
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		// Legend entry.
+		ly := marginT + 18*si
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW+12, ly+6, marginL+plotW+34, ly+6, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11">%s</text>`+"\n",
+			marginL+plotW+40, ly+10, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

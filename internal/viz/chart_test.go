@@ -1,0 +1,51 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	series := []ChartSeries{
+		{Label: "flooding", X: []float64{4, 8, 12}, Y: []float64{4, 8, 12}},
+		{Label: "skyline", X: []float64{4, 8, 12}, Y: []float64{3.5, 6.2, 7.6},
+			Err: []float64{0.1, 0.15, 0.2}},
+	}
+	out := LineChart("Figure 5.1", "mean degree", "forward nodes", series, 720, 480)
+	for _, want := range []string{
+		"<svg", "</svg>", "Figure 5.1", "mean degree", "forward nodes",
+		"flooding", "skyline", "<polyline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// One polyline per multi-point series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	// Error bars drawn only for the series that has them (3 bars).
+	if got := strings.Count(out, `stroke-width="1"/>`); got != 3 {
+		t.Errorf("%d error bars, want 3", got)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	// Empty input still renders a document.
+	out := LineChart("empty", "x", "y", nil, 0, 0)
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("empty chart must render")
+	}
+	// Single point, zero ranges.
+	out = LineChart("one", "x", "y", []ChartSeries{
+		{Label: "p", X: []float64{5}, Y: []float64{5}},
+	}, 300, 200)
+	if !strings.Contains(out, "<circle") {
+		t.Error("single point must be drawn")
+	}
+	// Title with XML specials is escaped.
+	out = LineChart("a<b&c", "x", "y", nil, 0, 0)
+	if !strings.Contains(out, "a&lt;b&amp;c") {
+		t.Error("title not escaped")
+	}
+}

@@ -1,0 +1,95 @@
+package mldcs_test
+
+// Shape tests: the qualitative claims of the paper's figures, asserted as
+// code so a regression in any layer (deployment, graph, selector) that
+// bends a curve the wrong way fails CI. These are the checks EXPERIMENTS.md
+// reports, at reduced replication counts.
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func runFig(t *testing.T, id string, reps int, degrees []float64) map[string][]float64 {
+	t.Helper()
+	fig, err := mldcs.RunExperiment(id, mldcs.ExperimentConfig{
+		Replications: reps, Seed: 77, Workers: 4, Degrees: degrees,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]float64, len(fig.Series))
+	for _, s := range fig.Series {
+		out[s.Label] = s.Y
+	}
+	return out
+}
+
+// Figure 5.1's shape: ordering at every degree, flooding tracking the
+// degree, skyline saturating (its growth from degree 8→24 is far below
+// flooding's).
+func TestFig51Shape(t *testing.T) {
+	degrees := []float64{8, 16, 24}
+	y := runFig(t, "fig5.1", 60, degrees)
+	for i := range degrees {
+		if !(y["flooding"][i] >= y["skyline"][i] &&
+			y["skyline"][i] >= y["calinescu"][i] &&
+			y["calinescu"][i] >= y["optimal"][i] &&
+			y["greedy"][i] >= y["optimal"][i]) {
+			t.Fatalf("degree %g: ordering violated: flooding %v skyline %v calinescu %v greedy %v optimal %v",
+				degrees[i], y["flooding"][i], y["skyline"][i], y["calinescu"][i],
+				y["greedy"][i], y["optimal"][i])
+		}
+	}
+	// Flooding ≈ degree (within sampling noise of the central node).
+	for i, d := range degrees {
+		if diff := y["flooding"][i] - d; diff > 0.2*d || diff < -0.2*d {
+			t.Errorf("flooding at degree %g measured %v — should track the degree", d, y["flooding"][i])
+		}
+	}
+	// Saturation: flooding triples from 8→24; skyline must grow far less.
+	floodGrowth := y["flooding"][2] / y["flooding"][0]
+	skyGrowth := y["skyline"][2] / y["skyline"][0]
+	if skyGrowth > 0.75*floodGrowth {
+		t.Errorf("skyline growth %v not clearly sublinear vs flooding %v", skyGrowth, floodGrowth)
+	}
+}
+
+// Figure 5.4's shape: same ordering without Călinescu, plus the
+// heterogeneity effect — the skyline curve sits lower than its homogeneous
+// counterpart because large disks dominate small ones.
+func TestFig54Shape(t *testing.T) {
+	degrees := []float64{8, 16, 24}
+	het := runFig(t, "fig5.4", 60, degrees)
+	hom := runFig(t, "fig5.1", 60, degrees)
+	for i := range degrees {
+		if !(het["flooding"][i] >= het["skyline"][i] && het["skyline"][i] >= het["greedy"][i] &&
+			het["greedy"][i] >= het["optimal"][i]) {
+			t.Fatalf("degree %g: heterogeneous ordering violated", degrees[i])
+		}
+	}
+	// Heterogeneity helps the skyline: lower at the top degree.
+	if het["skyline"][2] >= hom["skyline"][2] {
+		t.Errorf("heterogeneous skyline %v should undercut homogeneous %v at degree 24",
+			het["skyline"][2], hom["skyline"][2])
+	}
+}
+
+// The §5.1.2 drawback trends: the fraction of point sets where the skyline
+// set misses a 2-hop neighbor grows with density, while the mean coverage
+// stays high (> 0.95).
+func TestFig56Shape(t *testing.T) {
+	degrees := []float64{6, 18}
+	y := runFig(t, "fig5.6", 80, degrees)
+	cov := y["skyline 2-hop coverage"]
+	miss := y["point sets with a miss"]
+	for i := range degrees {
+		if cov[i] < 0.95 || cov[i] > 1 {
+			t.Errorf("coverage at degree %g = %v, want high but ≤ 1", degrees[i], cov[i])
+		}
+	}
+	if miss[1] <= miss[0] {
+		t.Errorf("miss rate should grow with density: %v", miss)
+	}
+}
