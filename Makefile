@@ -15,7 +15,7 @@ race:
 	go test -race ./...
 
 bench:
-	go test -bench=. -benchmem .
+	go test -bench=. -benchmem ./...
 
 cover:
 	go test -coverprofile=cover.out ./internal/... .

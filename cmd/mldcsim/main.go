@@ -8,16 +8,21 @@
 //	mldcsim -exp all                        # every experiment in sequence
 //	mldcsim -exp fig5.2 -csv out.csv        # also write the series as CSV
 //	mldcsim -demo -svg skyline.svg          # render a random local set's skyline
+//	mldcsim -exp fig5.1 -metrics-out m.json # dump engine metrics (see docs/OBSERVABILITY.md)
+//	mldcsim -exp all -events trace.jsonl -pprof :6060  # event trace + live profiling
 //
 // Experiments: fig5.1 fig5.2 fig5.3 fig5.4 fig5.5 fig5.6 scaling
 // storm-homogeneous storm-heterogeneous.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strconv"
 	"strings"
@@ -45,8 +50,17 @@ func main() {
 		analyze  = flag.String("analyze", "", "analyze a deployment trace file (id x y radius per line) instead of -exp")
 		selector = flag.String("selector", "skyline", "forwarding algorithm for -analyze")
 		source   = flag.Int("source", 0, "source node for -analyze")
+
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON to this file on completion")
+		eventsPath = flag.String("events", "", "write a JSONL event trace (broadcast rounds, experiment runs) to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar (incl. the live metrics registry) on this address, e.g. :6060")
 	)
 	flag.Parse()
+
+	finishObs, err := setupObs(*metricsOut, *eventsPath, *pprofAddr)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, id := range mldcs.ExperimentIDs() {
@@ -58,12 +72,14 @@ func main() {
 		if err := runDemo(*seed, *demoN, *svgPath); err != nil {
 			fatal(err)
 		}
+		finishObs()
 		return
 	}
 	if *analyze != "" {
 		if err := runAnalyze(*analyze, *selector, *source); err != nil {
 			fatal(err)
 		}
+		finishObs()
 		return
 	}
 	if *scenario != "" {
@@ -84,6 +100,7 @@ func main() {
 			}
 			fmt.Println("report written to", *report)
 		}
+		finishObs()
 		return
 	}
 	if *exp == "" {
@@ -158,6 +175,65 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	finishObs()
+}
+
+// setupObs wires the observability flags: when any is set it creates a
+// registry (and, for -events, a JSONL sink), installs them via
+// mldcs.Instrument, and optionally starts the pprof/expvar debug server.
+// The returned function flushes the trace and writes the registry dump; it
+// must be called once on normal completion.
+func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err error) {
+	if metricsOut == "" && eventsPath == "" && pprofAddr == "" {
+		return func() {}, nil
+	}
+	reg := mldcs.NewMetricsRegistry()
+	var sink *mldcs.EventSink
+	var eventsFile, metricsFile *os.File
+	if eventsPath != "" {
+		eventsFile, err = os.Create(eventsPath)
+		if err != nil {
+			return nil, err
+		}
+		sink = mldcs.NewEventSink(eventsFile)
+	}
+	if metricsOut != "" {
+		// Open up front so a bad path fails before the run, not after it.
+		metricsFile, err = os.Create(metricsOut)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mldcs.Instrument(reg, sink)
+	if pprofAddr != "" {
+		expvar.Publish("mldcs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mldcsim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mldcsim: serving pprof + expvar on %s (/debug/pprof, /debug/vars)\n", pprofAddr)
+	}
+	return func() {
+		if sink != nil {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "mldcsim: flushing event trace:", err)
+			}
+			if err := eventsFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mldcsim: closing event trace:", err)
+			}
+			fmt.Printf("wrote %s\n", eventsPath)
+		}
+		if metricsFile != nil {
+			if err := reg.WriteJSON(metricsFile); err != nil {
+				fatal(err)
+			}
+			if err := metricsFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", metricsOut)
+		}
+	}, nil
 }
 
 func runDemo(seed int64, n int, svgPath string) error {

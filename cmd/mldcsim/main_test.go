@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"testing"
+
+	"repro"
 )
 
 func TestParseDegrees(t *testing.T) {
@@ -63,4 +67,57 @@ func TestRunDemoSmoke(t *testing.T) {
 	if err := runDemo(3, 6, dir+"/out.svg"); err != nil {
 		t.Fatalf("demo with SVG failed: %v", err)
 	}
+}
+
+// TestSetupObs drives the observability wiring end to end: instrument,
+// run an analysis (which broadcasts), finish, and check both artifacts.
+func TestSetupObs(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := dir + "/m.json"
+	eventsPath := dir + "/trace.jsonl"
+	finish, err := setupObs(metricsPath, eventsPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mldcs.Instrument(nil, nil)
+
+	trace := dir + "/trace.txt"
+	if err := writeFile(trace, "0 0 0 1.5\n1 1 0 1.5\n2 2 0 1.5\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAnalyze(trace, "skyline", 0); err != nil {
+		t.Fatal(err)
+	}
+	finish()
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics dump missing: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics dump is not JSON: %v", err)
+	}
+	if snap.Counters["broadcast_runs_total"] == 0 {
+		t.Errorf("broadcast_runs_total = 0 after an analyzed broadcast; counters: %v", snap.Counters)
+	}
+	if snap.Counters["skyline_compute_total"] == 0 {
+		t.Errorf("skyline_compute_total = 0 after a skyline selection; counters: %v", snap.Counters)
+	}
+	events, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatalf("event trace missing: %v", err)
+	}
+	if !bytes.Contains(events, []byte(`"type":"broadcast_round"`)) {
+		t.Error("event trace has no broadcast_round events")
+	}
+
+	// No flags → no-op finish and nothing installed.
+	finish2, err := setupObs("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish2()
 }

@@ -1,0 +1,69 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/forwarding"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+func benchGraph(b *testing.B, degree float64) *network.Graph {
+	b.Helper()
+	nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Heterogeneous, degree),
+		rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkRunFlooding / BenchmarkRunSkyline are the reference numbers for
+// the disabled-instrumentation fast path of the simulator;
+// BenchmarkRunInstrumented measures the same skyline broadcast with a live
+// registry (no event sink), quantifying the per-round accounting cost.
+func BenchmarkRunFlooding(b *testing.B) {
+	g := benchGraph(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSkyline(b *testing.B) {
+	g := benchGraph(b, 12)
+	sets, err := PrecomputeSets(g, forwarding.Skyline{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCached(g, 0, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunInstrumented(b *testing.B) {
+	Instrument(obs.NewRegistry(), nil)
+	defer Instrument(nil, nil)
+	g := benchGraph(b, 12)
+	sets, err := PrecomputeSets(g, forwarding.Skyline{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCached(g, 0, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -98,6 +98,11 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 		selGraph = bi
 	}
 
+	m := bcInstr.Load()
+	if m != nil {
+		m.runs.Inc()
+	}
+
 	res := Result{Received: make([]bool, g.Len())}
 	for _, d := range g.HopDistances(source) {
 		if d > 0 {
@@ -118,9 +123,15 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 	}
 	res.Transmitted = make([]bool, g.Len())
 
+	round := 0
 	for len(frontier) > 0 {
 		// Deterministic order within a round.
 		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		round++
+		// Per-round instrumentation deltas, accumulated locally so the
+		// reception loops carry no atomic traffic.
+		roundReceptions := 0
+		prevDelivered, prevRedundant := res.Delivered, res.Redundant
 		var next []pending
 		// First, all transmissions of this round are delivered.
 		type arrival struct{ to, from, hop int }
@@ -129,6 +140,7 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 			res.Transmissions++
 			res.Transmitted[tx.node] = true
 			for _, v := range g.Neighbors(tx.node) {
+				roundReceptions++
 				if res.Received[v] {
 					res.Redundant++
 					continue
@@ -156,13 +168,23 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 				if err != nil {
 					return Result{}, err
 				}
+				if m != nil {
+					m.fwdSetSize.Observe(float64(len(set)))
+				}
 				relay = containsID(set, a.to)
 			}
 			if relay {
 				next = append(next, pending{a.to, a.hop})
 			}
 		}
+		if m != nil {
+			m.recordRound(round, len(frontier), roundReceptions,
+				res.Delivered-prevDelivered, res.Redundant-prevRedundant)
+		}
 		frontier = next
+	}
+	if m != nil {
+		m.recordDone(source, &res, 0)
 	}
 	return res, nil
 }

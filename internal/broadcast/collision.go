@@ -45,6 +45,11 @@ func RunWithCollisions(g *network.Graph, source int, fwd forwarding.Selector) (C
 		selGraph = bi
 	}
 
+	m := bcInstr.Load()
+	if m != nil {
+		m.runs.Inc()
+	}
+
 	res := CollisionResult{Result: Result{Received: make([]bool, g.Len())}}
 	for _, d := range g.HopDistances(source) {
 		if d > 0 {
@@ -59,14 +64,19 @@ func RunWithCollisions(g *network.Graph, source int, fwd forwarding.Selector) (C
 	frontier := []pending{{source, 0}}
 	res.Received[source] = true
 
+	round := 0
 	for len(frontier) > 0 {
 		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
+		round++
+		roundReceptions := 0
+		prevDelivered, prevRedundant, prevCollisions := res.Delivered, res.Redundant, res.Collisions
 		// Count transmissions covering each node this slot.
 		hits := make(map[int]int)
 		from := make(map[int]pending)
 		for _, tx := range frontier {
 			res.Transmissions++
 			for _, v := range g.Neighbors(tx.node) {
+				roundReceptions++
 				hits[v]++
 				if _, ok := from[v]; !ok || tx.node < from[v].node {
 					from[v] = tx
@@ -111,7 +121,15 @@ func RunWithCollisions(g *network.Graph, source int, fwd forwarding.Selector) (C
 				next = append(next, pending{v, hop})
 			}
 		}
+		if m != nil {
+			m.collisions.Add(int64(res.Collisions - prevCollisions))
+			m.recordRound(round, len(frontier), roundReceptions,
+				res.Delivered-prevDelivered, res.Redundant-prevRedundant)
+		}
 		frontier = next
+	}
+	if m != nil {
+		m.recordDone(source, &res.Result, res.Collisions)
 	}
 	return res, nil
 }

@@ -1,0 +1,94 @@
+package broadcast
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Metric and event names exported by this package (see
+// docs/OBSERVABILITY.md).
+const (
+	MetricRunsTotal          = "broadcast_runs_total"
+	MetricRoundsTotal        = "broadcast_rounds_total"
+	MetricTransmissionsTotal = "broadcast_transmissions_total"
+	MetricReceptionsTotal    = "broadcast_receptions_total"
+	MetricRedundantTotal     = "broadcast_redundant_total"
+	MetricCollisionsTotal    = "broadcast_collisions_total"
+	MetricFwdSetSize         = "broadcast_forwarding_set_size"
+	MetricFrontierSize       = "broadcast_round_frontier_size"
+
+	EventRound = "broadcast_round"
+	EventDone  = "broadcast_done"
+)
+
+// bcMetrics holds pre-resolved handles plus the optional event sink.
+// Counter updates are batched per hop round, so the per-reception hot loop
+// carries no instrumentation cost beyond local integer arithmetic.
+type bcMetrics struct {
+	runs          *obs.Counter
+	rounds        *obs.Counter
+	transmissions *obs.Counter
+	receptions    *obs.Counter
+	redundant     *obs.Counter
+	collisions    *obs.Counter
+	fwdSetSize    *obs.Histogram
+	frontierSize  *obs.Histogram
+	sink          *obs.EventSink
+}
+
+var bcInstr atomic.Pointer[bcMetrics]
+
+// Instrument installs metrics collection (and, optionally, a structured
+// per-round event trace) for this package. Either argument may be nil;
+// passing both nil disables instrumentation entirely.
+func Instrument(r *obs.Registry, sink *obs.EventSink) {
+	if r == nil && sink == nil {
+		bcInstr.Store(nil)
+		return
+	}
+	bcInstr.Store(&bcMetrics{
+		runs:          r.Counter(MetricRunsTotal),
+		rounds:        r.Counter(MetricRoundsTotal),
+		transmissions: r.Counter(MetricTransmissionsTotal),
+		receptions:    r.Counter(MetricReceptionsTotal),
+		redundant:     r.Counter(MetricRedundantTotal),
+		collisions:    r.Counter(MetricCollisionsTotal),
+		fwdSetSize:    r.Histogram(MetricFwdSetSize, obs.DefaultSizeBounds...),
+		frontierSize:  r.Histogram(MetricFrontierSize, obs.DefaultSizeBounds...),
+		sink:          sink,
+	})
+}
+
+// recordRound books the totals of one hop round and emits the per-round
+// trace event.
+func (m *bcMetrics) recordRound(round, frontier, receptions, delivered, redundant int) {
+	m.rounds.Inc()
+	m.transmissions.Add(int64(frontier))
+	m.receptions.Add(int64(receptions))
+	m.redundant.Add(int64(redundant))
+	m.frontierSize.Observe(float64(frontier))
+	m.sink.Emit(EventRound, map[string]any{
+		"round":        round,
+		"transmitters": frontier,
+		"receptions":   receptions,
+		"delivered":    delivered,
+		"redundant":    redundant,
+	})
+}
+
+// recordDone books run-level results and emits the completion event.
+func (m *bcMetrics) recordDone(source int, res *Result, collisions int) {
+	fields := map[string]any{
+		"source":        source,
+		"transmissions": res.Transmissions,
+		"delivered":     res.Delivered,
+		"reachable":     res.Reachable,
+		"redundant":     res.Redundant,
+		"max_hop":       res.MaxHop,
+	}
+	if collisions > 0 {
+		fields["collisions"] = collisions
+	}
+	m.sink.Emit(EventDone, fields)
+}

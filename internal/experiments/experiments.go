@@ -76,6 +76,10 @@ type Figure struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+	// Obs carries the per-run observability summary (wall time, reps/sec,
+	// metrics snapshot) when instrumentation is enabled; nil — and absent
+	// from JSON — otherwise, so golden outputs are unaffected.
+	Obs *RunObs `json:",omitempty"`
 }
 
 // Table renders the figure as an aligned text table with one row per
@@ -120,6 +124,8 @@ func (f Figure) String() string {
 // bounded worker pool. Each replication gets its own deterministic RNG, so
 // results are independent of scheduling. The first error wins.
 func forEachReplication(cfg Config, fn func(rep int, rng *rand.Rand) error) error {
+	// Counter is nil (a no-op) when instrumentation is off.
+	repCounter := activeRegistry().Counter(MetricReplicationsTotal)
 	sem := make(chan struct{}, cfg.Workers)
 	errCh := make(chan error, 1)
 	var wg sync.WaitGroup
@@ -129,6 +135,7 @@ func forEachReplication(cfg Config, fn func(rep int, rng *rand.Rand) error) erro
 		go func(rep int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer repCounter.Inc()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)))
 			if err := fn(rep, rng); err != nil {
 				select {

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric and event names exported by this package (see
+// docs/OBSERVABILITY.md).
+const (
+	MetricRunsTotal         = "experiment_runs_total"
+	MetricReplicationsTotal = "experiment_replications_total"
+	MetricExperimentSeconds = "experiment_seconds"
+	MetricLastRepsPerSec    = "experiment_last_reps_per_second"
+
+	EventExperimentStart = "experiment_start"
+	EventExperimentDone  = "experiment_done"
+)
+
+// expInstr carries the installed registry and sink. Unlike the skyline and
+// broadcast layers this path is cold (once per experiment / replication),
+// so handles are looked up as needed.
+type expInstr struct {
+	reg  *obs.Registry
+	sink *obs.EventSink
+}
+
+var expInstalled atomic.Pointer[expInstr]
+
+// Instrument installs the observability registry and event sink for this
+// package; nil, nil disables.
+func Instrument(r *obs.Registry, sink *obs.EventSink) {
+	if r == nil && sink == nil {
+		expInstalled.Store(nil)
+		return
+	}
+	expInstalled.Store(&expInstr{reg: r, sink: sink})
+}
+
+// activeRegistry returns the installed registry, or nil when
+// instrumentation is off. A nil *Registry is safe to use directly (it
+// hands out nil no-op handles).
+func activeRegistry() *obs.Registry {
+	if in := expInstalled.Load(); in != nil {
+		return in.reg
+	}
+	return nil
+}
+
+// RunObs is the per-experiment observability summary embedded in a
+// Figure's JSON report when instrumentation is enabled: wall time,
+// replication throughput, and a full registry snapshot. The snapshot is
+// cumulative over the process, so in a multi-experiment run each figure
+// carries the registry state as of its completion.
+type RunObs struct {
+	WallSeconds   float64       `json:"wall_seconds"`
+	Replications  int64         `json:"replications"`
+	RepsPerSecond float64       `json:"reps_per_second"`
+	Metrics       *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Observe wraps one experiment driver invocation. With instrumentation off
+// it is a tail call to run; otherwise it times the run, counts the
+// replications it performed (via the counter forEachReplication bumps),
+// embeds the summary in the returned figure, and emits start/done trace
+// events.
+func Observe(id string, run func() (Figure, error)) (Figure, error) {
+	in := expInstalled.Load()
+	if in == nil {
+		return run()
+	}
+	repCounter := in.reg.Counter(MetricReplicationsTotal)
+	repsBefore := repCounter.Value()
+	in.sink.Emit(EventExperimentStart, map[string]any{"id": id})
+	start := time.Now()
+	fig, err := run()
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		in.sink.Emit(EventExperimentDone, map[string]any{"id": id, "error": err.Error()})
+		return fig, err
+	}
+	reps := repCounter.Value() - repsBefore
+	rps := 0.0
+	if wall > 0 {
+		rps = float64(reps) / wall
+	}
+	in.reg.Counter(MetricRunsTotal).Inc()
+	in.reg.Timer(MetricExperimentSeconds).Observe(time.Duration(wall * float64(time.Second)))
+	in.reg.Gauge(MetricLastRepsPerSec).Set(rps)
+	in.sink.Emit(EventExperimentDone, map[string]any{
+		"id":              id,
+		"wall_seconds":    wall,
+		"replications":    reps,
+		"reps_per_second": rps,
+	})
+	if in.reg != nil {
+		snap := in.reg.Snapshot()
+		fig.Obs = &RunObs{WallSeconds: wall, Replications: reps, RepsPerSecond: rps, Metrics: &snap}
+	}
+	return fig, nil
+}

@@ -1,0 +1,372 @@
+// Package obs is the repository's observability layer: a lightweight,
+// allocation-conscious metrics registry (atomic counters, gauges, timers,
+// and fixed-bucket histograms) plus a structured JSONL event sink.
+//
+// The design goal is zero cost when disabled. Every metric method is
+// nil-receiver safe, and a nil *Registry hands out nil metric handles, so
+// instrumented packages hold a single atomic pointer to their handle
+// struct and pay one atomic load (plus a predictable branch) per
+// instrumented operation when observability is off. No global state lives
+// here; each instrumented package installs handles via its own Instrument
+// function (see internal/skyline, internal/broadcast,
+// internal/experiments), and the public facade wires them together.
+//
+// Snapshots are deterministic: metric names are emitted in sorted order,
+// so two dumps of registries with the same contents are byte-identical.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter. No-op on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 instantaneous value. The zero value reads 0;
+// a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (a running
+// maximum, e.g. "largest skyline seen"). Lock-free via CAS.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: bounds are finite upper bounds in
+// ascending order, observation v lands in the first bucket with v ≤ bound,
+// and one extra overflow bucket catches everything larger. A nil Histogram
+// is a no-op.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Timer records durations into a histogram, in seconds. A nil Timer is a
+// no-op.
+type Timer struct {
+	h *Histogram
+}
+
+// noop is shared so Start on a nil Timer allocates nothing.
+var noop = func() {}
+
+// Start begins timing and returns the stop function that records the
+// elapsed time.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return noop
+	}
+	start := time.Now()
+	return func() { t.h.Observe(time.Since(start).Seconds()) }
+}
+
+// Observe records a duration directly.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
+// Count returns the number of recorded durations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.h.Count()
+}
+
+// Default bucket bounds.
+var (
+	// DefaultDurationBounds covers 1µs–10s exponentially, in seconds.
+	DefaultDurationBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+	// DefaultSizeBounds covers small-integer sizes (set sizes, arc
+	// counts, frontier sizes) in powers of two.
+	DefaultSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
+)
+
+// Registry is a named collection of metrics. Handles are created on first
+// use and shared thereafter; lookups take a mutex, so instrumented code
+// should fetch handles once (at Instrument time) and hold them, not look
+// them up per operation. A nil *Registry hands out nil handles, making
+// every downstream metric operation a no-op.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	timers     map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		timers:     make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it if needed. Returns nil on
+// a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds if needed (DefaultSizeBounds when none are supplied). Bounds of
+// an existing histogram are not changed. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		if len(bounds) == 0 {
+			bounds = DefaultSizeBounds
+		}
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it with DefaultDurationBounds if
+// needed. Returns nil on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{h: newHistogram(DefaultDurationBounds)}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// HistogramSnapshot is the exported state of one histogram (or timer, in
+// seconds). Counts has one entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time export of a registry. Maps marshal with
+// sorted keys, so JSON output is deterministic. Timers appear under
+// Timers with their histogram in seconds.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Timers     map[string]HistogramSnapshot `json:"timers"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Snapshot exports the registry's current state. Individual metric reads
+// are atomic but the snapshot as a whole is not a consistent cut under
+// concurrent updates. Safe on a nil registry (returns an empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+		Timers:     make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = t.h.snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race this also proves the implementation is data-race free.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const workers, perWorker = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if again := r.Counter("hits"); again != c {
+		t.Error("Counter must return the same handle for the same name")
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("max")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.SetMax(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per-1); got != want {
+		t.Fatalf("gauge max = %g, want %g", got, want)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("sum")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per)*0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("gauge sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", 1, 2, 4, 8)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	snap := h.snapshot()
+	var total int64
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", total, workers*per)
+	}
+	// 0 and 1 land in bucket 0 (≤1); 9 lands in overflow.
+	if snap.Counts[0] != 2*workers*per/10 {
+		t.Errorf("bucket ≤1 has %d, want %d", snap.Counts[0], 2*workers*per/10)
+	}
+	if last := snap.Counts[len(snap.Counts)-1]; last != workers*per/10 {
+		t.Errorf("overflow bucket has %d, want %d", last, workers*per/10)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("op")
+	stop := tm.Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	tm.Observe(2 * time.Millisecond)
+	if got := tm.Count(); got != 2 {
+		t.Fatalf("timer count = %d, want 2", got)
+	}
+	if sum := tm.h.Sum(); sum < 0.003 || sum > 1 {
+		t.Errorf("timer sum = %g s, want ≥ 3ms and sane", sum)
+	}
+}
+
+// TestNilFastPath exercises every operation through a nil registry: all
+// handles are nil and every method must be a safe no-op. This is the
+// disabled configuration that instrumented hot paths rely on.
+func TestNilFastPath(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	tm := r.Timer("t")
+	if c != nil || g != nil || h != nil || tm != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(3)
+	h.Observe(4)
+	tm.Observe(time.Second)
+	tm.Start()()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || tm.Count() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 || len(snap.Timers) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON on nil registry: %v", err)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b_total").Add(2)
+		r.Counter("a_total").Add(1)
+		r.Gauge("z_max").Set(9.5)
+		r.Histogram("sizes", 1, 10).Observe(3)
+		r.Timer("t").Observe(time.Millisecond)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("identical registries must serialize byte-identically")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if snap.Counters["a_total"] != 1 || snap.Counters["b_total"] != 2 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["z_max"] != 9.5 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	if snap.Histograms["sizes"].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+	if snap.Timers["t"].Count != 1 {
+		t.Errorf("timers = %v", snap.Timers)
+	}
+}
+
+func TestHistogramBoundsImmutable(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", 1, 2)
+	h2 := r.Histogram("h", 99) // bounds of an existing histogram are kept
+	if h1 != h2 {
+		t.Fatal("same name must return the same histogram")
+	}
+	if len(h1.bounds) != 2 {
+		t.Fatalf("bounds = %v, want the original [1 2]", h1.bounds)
+	}
+}

@@ -1,0 +1,68 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+func benchSets(n int) [][]geom.Disk {
+	rng := rand.New(rand.NewSource(1))
+	sets := make([][]geom.Disk, 16)
+	for i := range sets {
+		sets[i] = randomLocalSet(rng, n)
+	}
+	return sets
+}
+
+// BenchmarkCompute is the reference number for the disabled-instrumentation
+// fast path; BenchmarkComputeInstrumented is the same workload with a live
+// registry, quantifying the observability overhead.
+func BenchmarkCompute(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		sets := benchSets(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(sets[i%len(sets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeInstrumented(b *testing.B) {
+	Instrument(obs.NewRegistry())
+	defer Instrument(nil)
+	for _, n := range []int{16, 128, 1024} {
+		sets := benchSets(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(sets[i%len(sets)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComputeParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	disks := randomLocalSet(rng, 8192)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeParallel(disks, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

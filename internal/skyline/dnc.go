@@ -22,18 +22,32 @@ func Compute(disks []geom.Disk) (Skyline, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	return compute(disks, idx), nil
+	m := skyInstr.Load()
+	if m == nil {
+		return compute(disks, idx, nil, 1), nil
+	}
+	m.computes.Inc()
+	stop := m.computeSeconds.Start()
+	sl := compute(disks, idx, m, 1)
+	stop()
+	m.recordCompute(len(sl), len(disks))
+	return sl, nil
 }
 
 // compute is the recursive core, operating on a window of disk indices.
-func compute(disks []geom.Disk, idx []int) Skyline {
+// m (possibly nil) is the installed instrumentation, loaded once per
+// Compute; depth is the current recursion level, recorded at the leaves.
+func compute(disks []geom.Disk, idx []int, m *skyMetrics, depth int) Skyline {
 	if len(idx) == 1 {
+		if m != nil {
+			m.depth.SetMax(float64(depth))
+		}
 		return single(idx[0])
 	}
 	mid := len(idx) / 2
-	left := compute(disks, idx[:mid])
-	right := compute(disks, idx[mid:])
-	return Merge(disks, left, right)
+	left := compute(disks, idx[:mid], m, depth+1)
+	right := compute(disks, idx[mid:], m, depth+1)
+	return merge(disks, left, right, true, m)
 }
 
 // ComputeNoCombine is Compute with Step 3 of Merge (re-combining adjacent
@@ -74,16 +88,16 @@ func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
 //
 // Both inputs must be valid skylines (contiguous over [0, 2π)).
 func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
-	return merge(disks, s1, s2, true)
+	return merge(disks, s1, s2, true, skyInstr.Load())
 }
 
 // mergeNoCombine merges without coalescing same-disk neighbors, for the A1
-// ablation (see ComputeNoCombine).
+// ablation (see ComputeNoCombine). Ablations are never instrumented.
 func mergeNoCombine(disks []geom.Disk, s1, s2 Skyline) Skyline {
-	return merge(disks, s1, s2, false)
+	return merge(disks, s1, s2, false, nil)
 }
 
-func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
+func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Skyline {
 	// Step 1: merged breakpoint sequence.
 	bps := make([]float64, 0, len(s1)+len(s2)+2)
 	for _, a := range s1 {
@@ -102,6 +116,10 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
 	}
 	bps[len(bps)-1] = geom.TwoPi
 
+	if ins != nil {
+		ins.merges.Inc()
+		ins.breakpoints.Add(int64(len(bps)))
+	}
 	out := make(Skyline, 0, len(s1)+len(s2))
 	i1, i2 := 0, 0
 	for k := 0; k+1 < len(bps); k++ {
@@ -116,7 +134,7 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
 		for i2 < len(s2)-1 && s2[i2].End <= m {
 			i2++
 		}
-		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce)
+		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce, ins)
 	}
 	if len(out) == 0 {
 		// Degenerate: all spans were slivers. Fall back to whichever disk
@@ -138,8 +156,11 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
 // disk u is active in one input skyline and disk v in the other. This is
 // the paper's Case 1/2/3 analysis: cut the span at the crossings of the two
 // ρ curves (0, 1, or 2 of them) and keep the outer disk on each piece.
-func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesce bool) Skyline {
+func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesce bool, ins *skyMetrics) Skyline {
 	if u == v {
+		if ins != nil {
+			ins.case0.Inc()
+		}
 		return appendArc(out, a, b, u, coalesce)
 	}
 	var cuts [8]float64
@@ -155,6 +176,19 @@ func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesc
 	}
 	cuts[n] = b
 	n++
+	if ins != nil {
+		// n−2 interior cuts classify the span into the paper's cases;
+		// degenerate tangent-at-hub candidates can push past 2 and are
+		// counted with case 2.
+		switch n - 2 {
+		case 0:
+			ins.case0.Inc()
+		case 1:
+			ins.case1.Inc()
+		default:
+			ins.case2.Inc()
+		}
+	}
 	// Candidate angles arrive in unspecified order.
 	sort.Float64s(cuts[1 : n-1])
 	for k := 0; k+1 < n; k++ {

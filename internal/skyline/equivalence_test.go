@@ -275,8 +275,8 @@ func TestMergeSymmetry(t *testing.T) {
 		for i := half; i < n; i++ {
 			idxB[i-half] = i
 		}
-		sa := compute(disks, idxA)
-		sb := compute(disks, idxB)
+		sa := compute(disks, idxA, nil, 1)
+		sb := compute(disks, idxB, nil, 1)
 		ab := Merge(disks, sa, sb)
 		ba := Merge(disks, sb, sa)
 		sameEnvelope(t, disks, ab, ba, "merge-symmetry")

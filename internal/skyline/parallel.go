@@ -30,19 +30,37 @@ func ComputeParallel(disks []geom.Disk, workers int) (Skyline, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	return computeParallel(disks, idx, depth), nil
+	m := skyInstr.Load()
+	if m == nil {
+		return computeParallel(disks, idx, depth, nil, 1), nil
+	}
+	m.computes.Inc()
+	m.parWorkers.Set(float64(workers))
+	stop := m.computeSeconds.Start()
+	sl := computeParallel(disks, idx, depth, m, 1)
+	stop()
+	m.recordCompute(len(sl), len(disks))
+	return sl, nil
 }
 
-func computeParallel(disks []geom.Disk, idx []int, depth int) Skyline {
-	if depth == 0 || len(idx) <= parallelCutoff {
-		return compute(disks, idx)
+// computeParallel fans the recursion out across goroutines for the top
+// spawnDepth levels; rdepth tracks the recursion level for the depth gauge.
+func computeParallel(disks []geom.Disk, idx []int, spawnDepth int, m *skyMetrics, rdepth int) Skyline {
+	if spawnDepth == 0 || len(idx) <= parallelCutoff {
+		if m != nil {
+			m.parSequential.Inc()
+		}
+		return compute(disks, idx, m, rdepth)
+	}
+	if m != nil {
+		m.parSpawned.Inc()
 	}
 	mid := len(idx) / 2
 	ch := make(chan Skyline, 1)
 	go func() {
-		ch <- computeParallel(disks, idx[:mid], depth-1)
+		ch <- computeParallel(disks, idx[:mid], spawnDepth-1, m, rdepth+1)
 	}()
-	right := computeParallel(disks, idx[mid:], depth-1)
+	right := computeParallel(disks, idx[mid:], spawnDepth-1, m, rdepth+1)
 	left := <-ch
-	return Merge(disks, left, right)
+	return merge(disks, left, right, true, m)
 }

@@ -1,0 +1,66 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestComputeParallelIdentical is the regression guard for the parallel
+// skyline path: across seeds, sizes straddling parallelCutoff, and worker
+// counts, ComputeParallel must return a skyline identical to Compute's —
+// same arcs, same float64 breakpoints, same disk indices — not merely the
+// same envelope. Determinism regardless of goroutine scheduling is what
+// lets experiments use the parallel path under fixed seeds. Run in CI
+// under -race, this also exercises the fan-out for data races.
+func TestComputeParallelIdentical(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	sizes := []int{1, 3, 37, 200, 300, 700}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, n := range sizes {
+			for _, heterogeneous := range []bool{true, false} {
+				var set = randomHomogeneousSet(rng, n)
+				if heterogeneous {
+					set = randomLocalSet(rng, n)
+				}
+				want, err := Compute(set)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range workerCounts {
+					got, err := ComputeParallel(set, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d n %d workers %d heterogeneous %v: parallel skyline differs\n got: %v\nwant: %v",
+							seed, n, w, heterogeneous, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The §4.1 adversarial construction (a disk contributing k disjoint arcs)
+// must also survive the parallel path bit-for-bit.
+func TestComputeParallelIdenticalAdversarial(t *testing.T) {
+	for _, k := range []int{3, 8, 33} {
+		disks := section41Disks(k)
+		want, err := Compute(disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			got, err := ComputeParallel(disks, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("section41 k=%d workers=%d: parallel skyline differs", k, w)
+			}
+		}
+	}
+}

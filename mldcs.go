@@ -34,10 +34,51 @@ import (
 	"repro/internal/geom"
 	imldcs "repro/internal/mldcs"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/skyline"
 	"repro/internal/viz"
 )
+
+// Observability types. The registry is a named collection of atomic
+// counters, gauges, timers, and fixed-bucket histograms; the event sink
+// writes a structured JSONL trace. See docs/OBSERVABILITY.md for the
+// exported metric names and a worked example.
+type (
+	// MetricsRegistry collects the engine's runtime metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time, deterministic export of a
+	// registry (JSON-serializable).
+	MetricsSnapshot = obs.Snapshot
+	// EventSink writes structured events as JSON Lines.
+	EventSink = obs.EventSink
+	// ExperimentObs is the per-experiment observability summary embedded
+	// in instrumented figures.
+	ExperimentObs = experiments.RunObs
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventSink returns an event sink writing JSONL to w. Call Flush before
+// closing the underlying writer.
+func NewEventSink(w io.Writer) *EventSink { return obs.NewEventSink(w) }
+
+// Instrument threads the observability layer through the skyline engine,
+// the broadcast simulator, and the experiment harness: per-Compute merge
+// statistics and Lemma 8 arc-bound accounting, per-round broadcast
+// counters and trace events, and per-experiment wall time with embedded
+// metric snapshots. Either argument may be nil; Instrument(nil, nil)
+// disables instrumentation, restoring the zero-cost fast path. The hook is
+// process-wide and not intended to be toggled concurrently with running
+// computations (installs are atomic, so readers never observe a torn
+// state — but metrics from in-flight operations may be split across
+// registries).
+func Instrument(reg *MetricsRegistry, events *EventSink) {
+	skyline.Instrument(reg)
+	broadcast.Instrument(reg, events)
+	experiments.Instrument(reg, events)
+}
 
 // Geometry types.
 type (
@@ -270,6 +311,12 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConf
 // "protocols-heterogeneous", "energy-homogeneous",
 // "energy-heterogeneous".
 func RunExperiment(id string, cfg ExperimentConfig) (Figure, error) {
+	return experiments.Observe(id, func() (Figure, error) {
+		return runExperiment(id, cfg)
+	})
+}
+
+func runExperiment(id string, cfg ExperimentConfig) (Figure, error) {
 	switch id {
 	case "fig5.1":
 		return experiments.Fig51(cfg)

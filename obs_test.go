@@ -1,0 +1,184 @@
+package mldcs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLemma8RuntimeCheckFacade feeds adversarial local sets through the
+// public ComputeSkyline with instrumentation enabled and asserts the
+// observed max-arcs metric never exceeds the Lemma 8 bound 2n: the
+// per-instance arc-bound ratio gauge stays ≤ 1 and the violation counter
+// stays 0. Unlike the in-package test this one also exercises hub
+// translation (hubs away from the origin).
+func TestLemma8RuntimeCheckFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	Instrument(reg, nil)
+	defer Instrument(nil, nil)
+
+	rng := rand.New(rand.NewSource(77))
+	hub := Pt(12.5, -3)
+
+	// §4.1-style construction around a distant hub: k unit disks ringed at
+	// distance 1/2 plus a central disk sized to split into k arcs.
+	for _, k := range []int{4, 9, 25} {
+		disks := make([]Disk, 0, k+1)
+		for i := 0; i < k; i++ {
+			theta := 2 * math.Pi * float64(i) / float64(k)
+			disks = append(disks, NewDisk(hub.X+0.5*math.Cos(theta), hub.Y+0.5*math.Sin(theta), 1))
+		}
+		op := 0.5*math.Cos(math.Pi/float64(k)) +
+			math.Sqrt(1-math.Pow(0.5*math.Sin(math.Pi/float64(k)), 2))
+		disks = append(disks, NewDisk(hub.X, hub.Y, (op+1.5)/2))
+		if _, err := ComputeSkyline(hub, disks); err != nil {
+			t.Fatalf("section41 k=%d: %v", k, err)
+		}
+	}
+	// Random heterogeneous neighborhoods around the hub.
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(120)
+		disks := make([]Disk, n)
+		for i := range disks {
+			r := 1 + rng.Float64()
+			dist := rng.Float64() * r * 0.999
+			theta := rng.Float64() * 2 * math.Pi
+			disks[i] = NewDisk(hub.X+dist*math.Cos(theta), hub.Y+dist*math.Sin(theta), r)
+		}
+		if _, err := ComputeSkyline(hub, disks); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["skyline_compute_total"] == 0 {
+		t.Fatal("no computes recorded through the facade")
+	}
+	if v := snap.Counters["skyline_arc_bound_violations_total"]; v != 0 {
+		t.Fatalf("skyline_arc_bound_violations_total = %d, want 0 (Lemma 8)", v)
+	}
+	ratio := snap.Gauges["skyline_arc_bound_ratio"]
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("skyline_arc_bound_ratio = %g, want in (0, 1]", ratio)
+	}
+	if snap.Gauges["skyline_max_arcs"] > snap.Gauges["skyline_max_arc_bound"] {
+		t.Fatalf("max arcs %g exceeds the largest 2n bound %g",
+			snap.Gauges["skyline_max_arcs"], snap.Gauges["skyline_max_arc_bound"])
+	}
+}
+
+// TestInstrumentEndToEnd runs an experiment and a broadcast through the
+// instrumented facade and checks every layer reported: skyline merge
+// statistics, broadcast rounds and per-round trace events, and the
+// experiment summary embedded in the figure.
+func TestInstrumentEndToEnd(t *testing.T) {
+	reg := NewMetricsRegistry()
+	var trace bytes.Buffer
+	sink := NewEventSink(&trace)
+	Instrument(reg, sink)
+	defer Instrument(nil, nil)
+
+	cfg := DefaultExperimentConfig()
+	cfg.Replications = 4
+	cfg.Degrees = []float64{8}
+	fig, err := RunExperiment("fig5.1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Obs == nil {
+		t.Fatal("instrumented figure must embed the observability summary")
+	}
+	if fig.Obs.Replications != 4 || fig.Obs.WallSeconds <= 0 || fig.Obs.RepsPerSecond <= 0 {
+		t.Errorf("figure summary = %+v", fig.Obs)
+	}
+	if fig.Obs.Metrics == nil || fig.Obs.Metrics.Counters["skyline_compute_total"] == 0 {
+		t.Error("figure snapshot must carry nonzero skyline counters")
+	}
+	data, err := fig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("skyline_merge_case1_total")) {
+		t.Error("figure JSON must embed the metrics snapshot")
+	}
+
+	// A broadcast to exercise the simulator's round instrumentation.
+	rng := rand.New(rand.NewSource(5))
+	nodes, err := PaperDeployment("heterogeneous", 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildNetwork(nodes, Bidirectional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectorByName("skyline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(g, 0, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["broadcast_runs_total"] == 0 || snap.Counters["broadcast_rounds_total"] == 0 {
+		t.Errorf("broadcast counters missing: %v", snap.Counters)
+	}
+	if got := snap.Counters["broadcast_transmissions_total"]; got != int64(res.Transmissions) {
+		t.Errorf("broadcast_transmissions_total = %d, result says %d", got, res.Transmissions)
+	}
+	if got := snap.Counters["broadcast_redundant_total"]; got != int64(res.Redundant) {
+		t.Errorf("broadcast_redundant_total = %d, result says %d", got, res.Redundant)
+	}
+
+	// The trace must hold experiment events plus one round event per
+	// broadcast hop round, in strict seq order.
+	var rounds, dones, expDone int
+	var lastSeq uint64
+	sc := bufio.NewScanner(&trace)
+	for sc.Scan() {
+		var ev struct {
+			Seq    uint64         `json:"seq"`
+			Type   string         `json:"type"`
+			Fields map[string]any `json:"fields"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		if ev.Seq != lastSeq+1 {
+			t.Fatalf("trace seq jumped from %d to %d", lastSeq, ev.Seq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case "broadcast_round":
+			rounds++
+		case "broadcast_done":
+			dones++
+		case "experiment_done":
+			expDone++
+		}
+	}
+	if dones != 1 || expDone != 1 {
+		t.Errorf("trace has %d broadcast_done and %d experiment_done events, want 1 and 1", dones, expDone)
+	}
+	if rounds == 0 {
+		t.Error("trace has no broadcast_round events")
+	}
+
+	// Disabling must stop collection.
+	Instrument(nil, nil)
+	before := reg.Snapshot().Counters["broadcast_runs_total"]
+	if _, err := Broadcast(g, 0, sel); err != nil {
+		t.Fatal(err)
+	}
+	if after := reg.Snapshot().Counters["broadcast_runs_total"]; after != before {
+		t.Error("metrics still collected after Instrument(nil, nil)")
+	}
+}
