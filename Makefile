@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover fuzz experiments examples clean
+.PHONY: all build test race bench cover fuzz fuzz-smoke experiments examples clean
 
 all: build test
 
@@ -16,6 +16,7 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+	ENGINE_BENCH_OUT=$(CURDIR)/BENCH_engine.json go test -run=TestEngineBenchReport -count=1 ./internal/engine/
 
 cover:
 	go test -coverprofile=cover.out ./internal/... .
@@ -25,6 +26,14 @@ fuzz:
 	go test -fuzz=FuzzSkylineInvariants -fuzztime=60s ./internal/skyline/
 	go test -fuzz=FuzzMergeAgainstNaive -fuzztime=60s ./internal/skyline/
 	go test -fuzz=FuzzSelectorInvariants -fuzztime=60s ./internal/forwarding/
+	go test -fuzz=FuzzEngineVsSequential -fuzztime=60s ./internal/engine/
+
+# Short fuzz pass over every target — the CI smoke step.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzSkylineInvariants -fuzztime=10s ./internal/skyline/
+	go test -run='^$$' -fuzz=FuzzMergeAgainstNaive -fuzztime=10s ./internal/skyline/
+	go test -run='^$$' -fuzz=FuzzSelectorInvariants -fuzztime=10s ./internal/forwarding/
+	go test -run='^$$' -fuzz=FuzzEngineVsSequential -fuzztime=10s ./internal/engine/
 
 # Full paper reproduction (the 200-replication suite) + extensions.
 experiments:

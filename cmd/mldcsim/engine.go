@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/deploy"
+	"repro/internal/mobility"
+	"repro/internal/network"
+)
+
+// engineOpts carries the -engine mode flags.
+type engineOpts struct {
+	nodes   int     // target network size
+	degree  float64 // target mean 1-hop degree
+	model   string  // "homogeneous" or "heterogeneous"
+	workers int     // engine worker count (0 = GOMAXPROCS)
+	cache   bool    // enable the skyline cache
+	steps   int     // mobility steps to run through the incremental path
+	verify  bool    // cross-check against the sequential per-node pipeline
+	seed    int64
+}
+
+// runEngine exercises the whole-network engine from the command line: one
+// full Compute over a deployment scaled to the requested size, optional
+// random-waypoint steps through the incremental Update path, and an
+// optional differential verification against the sequential pipeline.
+func runEngine(o engineOpts) error {
+	var radiusModel deploy.RadiusModel
+	switch o.model {
+	case "homogeneous":
+		radiusModel = deploy.Homogeneous
+	case "heterogeneous":
+		radiusModel = deploy.Heterogeneous
+	default:
+		return fmt.Errorf("unknown -model %q (want homogeneous or heterogeneous)", o.model)
+	}
+	dcfg := deploy.PaperConfig(radiusModel, o.degree)
+	// Scale the region so the density calibration yields ≈ o.nodes nodes.
+	dcfg.Side = math.Sqrt(float64(o.nodes) * math.Pi * dcfg.ExpectedMinRadiusSq() / o.degree)
+	rng := rand.New(rand.NewSource(o.seed))
+	nodes, err := deploy.Generate(dcfg, rng)
+	if err != nil {
+		return err
+	}
+
+	eng := mldcs.NewEngine(mldcs.EngineConfig{Workers: o.workers, Cache: o.cache})
+	start := time.Now()
+	res, err := eng.Compute(nodes)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	s := res.Stats
+	fmt.Printf("engine: %d nodes, %d edges, %d grid cells, %d workers\n",
+		s.Nodes, s.Edges, s.Cells, s.Workers)
+	fmt.Printf("compute: %v (%.0f nodes/sec)\n", elapsed.Round(time.Microsecond),
+		float64(s.Nodes)/elapsed.Seconds())
+	if o.cache {
+		total := s.CacheHits + s.CacheMisses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(s.CacheHits) / float64(total)
+		}
+		fmt.Printf("cache: %d hits / %d misses (%.1f%% hit ratio)\n",
+			s.CacheHits, s.CacheMisses, 100*ratio)
+	}
+	if o.verify {
+		if err := verifyEngine(nodes, res); err != nil {
+			return err
+		}
+		fmt.Println("verify: engine output element-identical to sequential per-node pipeline")
+	}
+
+	if o.steps > 0 {
+		model, err := mobility.NewModel(mobility.WaypointConfig{
+			Side: dcfg.Side, SpeedMin: 0.5, SpeedMax: 1.5, PauseMax: 0.5,
+		}, nodes, rng)
+		if err != nil {
+			return err
+		}
+		for step := 1; step <= o.steps; step++ {
+			model.Step(0.2)
+			cur := model.Nodes()
+			start := time.Now()
+			res, err = eng.Update(cur)
+			if err != nil {
+				return err
+			}
+			s := res.Stats
+			fmt.Printf("step %d: %d moved, %d dirty (%.1f%% of network), update %v\n",
+				step, s.Moved, s.Dirty, 100*float64(s.Dirty)/float64(s.Nodes),
+				time.Since(start).Round(time.Microsecond))
+			if o.verify {
+				if err := verifyEngine(cur, res); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			}
+		}
+		if o.verify {
+			fmt.Printf("verify: %d incremental updates element-identical to sequential recompute\n", o.steps)
+		}
+	}
+	return nil
+}
+
+// verifyEngine recomputes every forwarding set with the sequential
+// pipeline and errors on the first divergence.
+func verifyEngine(nodes []network.Node, res *mldcs.EngineResult) error {
+	g, err := mldcs.BuildNetwork(nodes, mldcs.Bidirectional)
+	if err != nil {
+		return err
+	}
+	for u := range nodes {
+		hub := g.Node(u)
+		ids := g.Neighbors(u)
+		disks := make([]mldcs.Disk, len(ids))
+		for i, v := range ids {
+			disks[i] = g.Node(v).Disk()
+		}
+		fwd, err := mldcs.ForwardingSet(hub.Disk(), disks)
+		if err != nil {
+			return err
+		}
+		want := make([]int, len(fwd))
+		for i, idx := range fwd {
+			want[i] = ids[idx]
+		}
+		got := res.Forwarding[u]
+		if len(got) != len(want) {
+			return fmt.Errorf("verify: node %d forwarding %v != sequential %v", u, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("verify: node %d forwarding %v != sequential %v", u, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	mldcsim -exp all                        # every experiment in sequence
 //	mldcsim -exp fig5.2 -csv out.csv        # also write the series as CSV
 //	mldcsim -demo -svg skyline.svg          # render a random local set's skyline
+//	mldcsim -engine -nodes 100000 -steps 5 -verify  # whole-network engine + mobility
 //	mldcsim -exp fig5.1 -metrics-out m.json # dump engine metrics (see docs/OBSERVABILITY.md)
 //	mldcsim -exp all -events trace.jsonl -pprof :6060  # event trace + live profiling
 //
@@ -51,6 +52,14 @@ func main() {
 		selector = flag.String("selector", "skyline", "forwarding algorithm for -analyze")
 		source   = flag.Int("source", 0, "source node for -analyze")
 
+		engineMode = flag.Bool("engine", false, "run the whole-network engine demo instead of an experiment")
+		engNodes   = flag.Int("nodes", 10000, "with -engine: target network size")
+		engDegree  = flag.Float64("degree", 10, "with -engine: target mean 1-hop degree")
+		engModel   = flag.String("model", "heterogeneous", "with -engine: radius model (homogeneous|heterogeneous)")
+		engCache   = flag.Bool("cache", true, "with -engine: enable the skyline cache")
+		engSteps   = flag.Int("steps", 0, "with -engine: random-waypoint steps through the incremental path")
+		engVerify  = flag.Bool("verify", false, "with -engine: cross-check output against the sequential per-node pipeline")
+
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON to this file on completion")
 		eventsPath = flag.String("events", "", "write a JSONL event trace (broadcast rounds, experiment runs) to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar (incl. the live metrics registry) on this address, e.g. :6060")
@@ -82,6 +91,23 @@ func main() {
 		finishObs()
 		return
 	}
+	if *engineMode {
+		err := runEngine(engineOpts{
+			nodes:   *engNodes,
+			degree:  *engDegree,
+			model:   *engModel,
+			workers: *workers,
+			cache:   *engCache,
+			steps:   *engSteps,
+			verify:  *engVerify,
+			seed:    *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		finishObs()
+		return
+	}
 	if *scenario != "" {
 		data, err := os.ReadFile(*scenario)
 		if err != nil {
@@ -108,6 +134,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       mldcsim -scenario suite.json")
 		fmt.Fprintln(os.Stderr, "       mldcsim -list")
 		fmt.Fprintln(os.Stderr, "       mldcsim -demo [-n 12] [-svg out.svg]")
+		fmt.Fprintln(os.Stderr, "       mldcsim -engine [-nodes 10000] [-degree 10] [-steps 5] [-verify]")
 		os.Exit(2)
 	}
 

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/mldcs"
+	"repro/internal/mobility"
+	"repro/internal/network"
+)
+
+// benchDeployment builds a heterogeneous deployment of ≈ n nodes at the
+// paper's density (mean degree 10) by scaling the region.
+func benchDeployment(n int, seed int64) ([]network.Node, float64, error) {
+	const degree = 10
+	cfg := deploy.PaperConfig(deploy.Heterogeneous, degree)
+	cfg.Side = math.Sqrt(float64(n) * math.Pi * cfg.ExpectedMinRadiusSq() / degree)
+	nodes, err := deploy.Generate(cfg, rand.New(rand.NewSource(seed)))
+	return nodes, cfg.Side, err
+}
+
+// benchSequential is the per-node baseline the engine is measured against.
+func benchSequential(nodes []network.Node) error {
+	g, err := network.Build(nodes, network.Bidirectional)
+	if err != nil {
+		return err
+	}
+	for u := 0; u < g.Len(); u++ {
+		ls, _, err := g.LocalSet(u)
+		if err != nil {
+			return err
+		}
+		if _, err := mldcs.Solve(ls); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func BenchmarkSequential(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			nodes, _, err := benchDeployment(n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := benchSequential(nodes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		for _, cache := range []bool{false, true} {
+			b.Run(fmt.Sprintf("n=%d/cache=%v", n, cache), func(b *testing.B) {
+				nodes, _, err := benchDeployment(n, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := New(Config{Cache: cache}).Compute(nodes); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineUpdate measures the incremental path: one random-waypoint
+// step dirties a subset of the network, and Update recomputes only that.
+func BenchmarkEngineUpdate(b *testing.B) {
+	const n = 10000
+	nodes, side, err := benchDeployment(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	model, err := mobility.NewModel(mobility.WaypointConfig{
+		Side: side, SpeedMin: 0.5, SpeedMax: 1.5, PauseMax: 5,
+	}, nodes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New(Config{})
+	if _, err := e.Compute(nodes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Step(0.05)
+		if _, err := e.Update(model.Nodes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReportEntry is one workload's row in BENCH_engine.json.
+type benchReportEntry struct {
+	Workload      string  `json:"workload"`
+	Nodes         int     `json:"nodes"`
+	SequentialMS  float64 `json:"sequential_ms"`
+	EngineMS      float64 `json:"engine_ms"`
+	Speedup       float64 `json:"speedup"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// TestEngineBenchReport writes the machine-readable engine benchmark used
+// by `make bench`: engine-vs-sequential wall times on a uniform random
+// deployment plus a structured (zero-jitter grid) workload where the cache
+// engages. Skipped unless ENGINE_BENCH_OUT names the output file; the
+// network size defaults to 100000 and can be overridden with
+// ENGINE_BENCH_N. The ≥3× speedup acceptance criterion applies on ≥ 4
+// cores — the report records the core count so single-core runs are
+// interpretable.
+func TestEngineBenchReport(t *testing.T) {
+	out := os.Getenv("ENGINE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set ENGINE_BENCH_OUT=<path> to write the engine benchmark report")
+	}
+	n := 100000
+	if s := os.Getenv("ENGINE_BENCH_N"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad ENGINE_BENCH_N %q", s)
+		}
+		n = v
+	}
+
+	report := struct {
+		Nodes     int                `json:"nodes"`
+		Cores     int                `json:"cores"`
+		Workers   int                `json:"workers"`
+		Workloads []benchReportEntry `json:"workloads"`
+	}{Nodes: n, Cores: runtime.NumCPU(), Workers: runtime.GOMAXPROCS(0)}
+
+	// Uniform random workload: the parallel speedup story.
+	nodes, _, err := benchDeployment(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Workloads = append(report.Workloads, benchWorkload(t, "uniform-random", nodes))
+
+	// Structured workload: zero-jitter grid at the same scale, where
+	// bit-identical neighborhoods make the cache hit nearly always.
+	gcfg := deploy.PaperConfig(deploy.Homogeneous, 10)
+	gcfg.Side = math.Sqrt(float64(n) * math.Pi * gcfg.ExpectedMinRadiusSq() / 10)
+	gcfg.SourceAtCenter = false
+	grid, err := deploy.GeneratePerturbedGrid(gcfg, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Workloads = append(report.Workloads, benchWorkload(t, "grid-homogeneous", grid))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (n=%d, cores=%d)", out, n, report.Cores)
+}
+
+func benchWorkload(t *testing.T, name string, nodes []network.Node) benchReportEntry {
+	t.Helper()
+	start := time.Now()
+	if err := benchSequential(nodes); err != nil {
+		t.Fatal(err)
+	}
+	seqMS := float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	res, err := New(Config{Cache: true}).Compute(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engMS := float64(time.Since(start).Microseconds()) / 1000
+
+	e := benchReportEntry{
+		Workload:     name,
+		Nodes:        len(nodes),
+		SequentialMS: seqMS,
+		EngineMS:     engMS,
+		CacheHits:    res.Stats.CacheHits,
+		CacheMisses:  res.Stats.CacheMisses,
+	}
+	if engMS > 0 {
+		e.Speedup = seqMS / engMS
+	}
+	if total := e.CacheHits + e.CacheMisses; total > 0 {
+		e.CacheHitRatio = float64(e.CacheHits) / float64(total)
+	}
+	return e
+}

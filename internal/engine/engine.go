@@ -1,0 +1,382 @@
+// Package engine computes MLDCS forwarding sets for an entire network in
+// one batched pass. The paper solves the problem one hub at a time
+// (Theorem 3: the MLDCS is the skyline set, O(n log n) per node); this
+// package is the whole-network counterpart that a production deployment
+// needs: neighbor discovery through a shared spatial grid, a worker pool
+// sharded over grid cells with per-worker scratch buffers, a skyline cache
+// keyed by a canonical neighborhood fingerprint so bit-identical local
+// sets are solved once, and an incremental recompute path that only redoes
+// the neighborhoods a movement step actually dirtied.
+//
+// The engine is observationally equivalent to the sequential per-node
+// loop (network.Build + Graph.LocalSet + mldcs.Solve for every node): the
+// differential test harness in this package asserts element-identical
+// forwarding sets across worker counts and cache settings, against both
+// the per-node solver and the naive skyline oracle.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/skyline"
+	"repro/internal/spatial"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of concurrent shard workers; ≤ 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Cache enables the skyline cache: local sets with bit-identical
+	// canonical fingerprints (see cache.go) are solved once and replayed.
+	// Structured deployments (grids, co-located clusters, replayed traces)
+	// hit constantly; uniform random deployments almost never do, and pay
+	// only the fingerprint cost.
+	Cache bool
+	// CellSize overrides the spatial grid's cell size; ≤ 0 selects the
+	// maximum transmission radius, which bounds every neighbor query to a
+	// 3×3 cell window.
+	CellSize float64
+}
+
+// Stats summarizes one Compute or Update pass.
+type Stats struct {
+	Nodes   int // nodes in the network
+	Edges   int // directed neighbor entries (sum of out-degrees)
+	Cells   int // occupied grid cells (the shard count)
+	Workers int // workers actually used
+	// Cache accounting for this pass (zero when the cache is disabled).
+	CacheHits   int64
+	CacheMisses int64
+	// Update-only accounting: nodes whose state changed, and neighborhoods
+	// recomputed (moved nodes plus their old and new neighbors). A full
+	// Compute reports Dirty == Nodes.
+	Moved int
+	Dirty int
+}
+
+// Result is a snapshot of the engine's per-node output. The top-level
+// slices are fresh per snapshot; the per-node sub-slices are shared with
+// the engine (and with later snapshots for nodes that did not change) and
+// must not be modified.
+type Result struct {
+	// Forwarding[u] holds the sorted IDs of u's forwarding set: the
+	// neighbors whose disks contribute arcs to u's skyline (the paper's
+	// relay set, mldcs.Result.NeighborCover mapped to node IDs).
+	Forwarding [][]int
+	// HubInCover[u] reports whether u's own disk is part of its minimum
+	// local disk cover set (mldcs.Result.ContainsHub).
+	HubInCover []bool
+	// Neighbors[u] holds u's sorted bidirectional 1-hop neighbor IDs,
+	// exactly as network.Build would report them.
+	Neighbors [][]int
+	// Stats describes the pass that produced this snapshot.
+	Stats Stats
+}
+
+// Engine computes and maintains forwarding sets for a whole network. An
+// Engine is not safe for concurrent use; it parallelizes internally.
+type Engine struct {
+	cfg   Config
+	nodes []network.Node
+	grid  *spatial.Grid
+	fwd   [][]int
+	hubIn []bool
+	nbrs  [][]int
+	cache *skyCache
+	stats Stats
+}
+
+// New returns an engine with the given configuration. The cache, when
+// enabled, persists across Compute and Update calls, so recomputing a
+// relabeled copy of a network hits it wholesale.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg}
+	if cfg.Cache {
+		e.cache = newSkyCache()
+	}
+	return e
+}
+
+// Compute runs the full whole-network pass: index the nodes in a spatial
+// grid, then solve every node's MLDCS, sharding the grid's cells over the
+// worker pool. Node IDs must equal their slice positions and radii must be
+// positive (as in network.Build). The nodes slice is copied.
+func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
+	m := engInstr.Load()
+	start := time.Now()
+
+	maxR := 0.0
+	for i, n := range nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("engine: node at position %d has ID %d; IDs must be dense", i, n.ID)
+		}
+		if !(n.Radius > 0) {
+			return nil, fmt.Errorf("engine: node %d has non-positive radius %g", i, n.Radius)
+		}
+		if n.Radius > maxR {
+			maxR = n.Radius
+		}
+	}
+	e.nodes = append(e.nodes[:0], nodes...)
+	e.fwd = make([][]int, len(nodes))
+	e.hubIn = make([]bool, len(nodes))
+	e.nbrs = make([][]int, len(nodes))
+	e.grid = nil
+	e.stats = Stats{Nodes: len(nodes)}
+
+	if len(nodes) == 0 {
+		return e.snapshot(), nil
+	}
+	cell := e.cfg.CellSize
+	if cell <= 0 {
+		cell = maxR
+	}
+	pts := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = n.Pos
+	}
+	e.grid = spatial.NewGrid(pts, cell)
+	cells := e.grid.Cells()
+	e.stats.Cells = len(cells)
+
+	hits0, misses0 := e.cache.counts()
+	var firstErr runErr
+	workers := e.forEachShard(len(cells), func(i int, sc *scratch) {
+		for _, u := range cells[i] {
+			if err := e.computeNode(u, sc); err != nil {
+				firstErr.set(err)
+				return
+			}
+		}
+	})
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+	e.stats.Workers = workers
+	e.stats.Dirty = len(nodes)
+	hits1, misses1 := e.cache.counts()
+	e.stats.CacheHits = hits1 - hits0
+	e.stats.CacheMisses = misses1 - misses0
+	for _, nb := range e.nbrs {
+		e.stats.Edges += len(nb)
+	}
+
+	if m != nil {
+		m.recordCompute(e.stats, time.Since(start), e.cache)
+	}
+	return e.snapshot(), nil
+}
+
+// snapshot builds a Result view of the engine's current state. Top-level
+// slices are copied so later Updates do not mutate the snapshot; per-node
+// slices are replaced (never written through) by Update, so shared
+// sub-slices stay consistent.
+func (e *Engine) snapshot() *Result {
+	return &Result{
+		Forwarding: append([][]int(nil), e.fwd...),
+		HubInCover: append([]bool(nil), e.hubIn...),
+		Neighbors:  append([][]int(nil), e.nbrs...),
+		Stats:      e.stats,
+	}
+}
+
+// Result returns a snapshot of the engine's current per-node output (the
+// same view the last Compute or Update returned).
+func (e *Engine) Result() *Result { return e.snapshot() }
+
+// CacheLen returns the number of distinct neighborhood fingerprints
+// currently cached (0 when the cache is disabled).
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// forEachShard runs fn(i, scratch) for every shard index in [0, n) with
+// the configured worker count. Shards are handed out through an atomic
+// cursor so the pool self-balances across cells of uneven population; each
+// worker owns one scratch, giving the steady path zero engine-side
+// allocations. Returns the number of workers used.
+func (e *Engine) forEachShard(n int, fn func(i int, sc *scratch)) int {
+	if n == 0 {
+		return 0
+	}
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := &scratch{}
+		for i := 0; i < n; i++ {
+			fn(i, sc)
+		}
+		e.cache.flush(sc)
+		return 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &scratch{}
+			defer e.cache.flush(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return workers
+}
+
+// scratch holds one worker's reusable buffers. All slices are grown once
+// and then recycled, so the per-node loop does not allocate beyond the
+// output slices themselves.
+type scratch struct {
+	ids    []int       // gathered neighbor IDs
+	tuples []nbTuple   // canonical neighbor ordering
+	disks  []geom.Disk // hub-frame disk set handed to the skyline
+	key    []byte      // fingerprint bytes
+	hits   int64       // cache counters, flushed once per worker
+	misses int64
+}
+
+// nbTuple is one neighbor disk in the hub-at-origin frame, carrying the
+// raw float bits used for canonical ordering and fingerprinting.
+type nbTuple struct {
+	xb, yb, rb uint64
+	disk       geom.Disk
+	id         int
+}
+
+// computeNode recomputes node u's neighborhood and forwarding set. It
+// mirrors network.Build's bidirectional link predicate exactly (same grid
+// query, same tolerance), so Neighbors matches Graph.Neighbors bit for
+// bit; the local set is then canonicalized and solved (or replayed from
+// the cache).
+func (e *Engine) computeNode(u int, sc *scratch) error {
+	hub := e.nodes[u]
+	sc.ids = sc.ids[:0]
+	e.grid.VisitWithin(hub.Pos, hub.Radius, func(v int) {
+		if v == u {
+			return
+		}
+		if hub.Pos.Dist(e.nodes[v].Pos) > e.nodes[v].Radius+geom.Eps {
+			return // v cannot reach back
+		}
+		sc.ids = append(sc.ids, v)
+	})
+	sort.Ints(sc.ids)
+	e.nbrs[u] = append([]int(nil), sc.ids...)
+
+	// Canonical ordering: neighbors in the hub frame sorted by their raw
+	// coordinate bits. The order is independent of node IDs and of the
+	// node's absolute position, so two nodes anywhere in the network with
+	// bit-identical relative neighborhoods produce the same disk sequence —
+	// and hence the same skyline computation and the same fingerprint.
+	// The sort is stable over ids already in ascending order, so exact
+	// duplicate disks keep their ID order and the skyline's canonical
+	// tie-break (larger radius, then lower index) picks the same
+	// representative the per-node solver would.
+	sc.tuples = sc.tuples[:0]
+	for _, v := range sc.ids {
+		d := e.nodes[v].Disk().Translate(hub.Pos)
+		sc.tuples = append(sc.tuples, nbTuple{
+			xb:   math.Float64bits(d.C.X),
+			yb:   math.Float64bits(d.C.Y),
+			rb:   math.Float64bits(d.R),
+			disk: d,
+			id:   v,
+		})
+	}
+	sort.SliceStable(sc.tuples, func(i, j int) bool {
+		a, b := &sc.tuples[i], &sc.tuples[j]
+		if a.rb != b.rb {
+			return a.rb < b.rb
+		}
+		if a.xb != b.xb {
+			return a.xb < b.xb
+		}
+		return a.yb < b.yb
+	})
+
+	if e.cache != nil {
+		sc.key = appendFingerprint(sc.key[:0], hub.Radius, sc.tuples)
+		if ent, ok := e.cache.get(sc.key); ok {
+			sc.hits++
+			e.fwd[u] = mapCover(ent.canon, sc.tuples)
+			e.hubIn[u] = ent.hubIn
+			return nil
+		}
+		sc.misses++
+	}
+
+	sc.disks = sc.disks[:0]
+	sc.disks = append(sc.disks, geom.Disk{R: hub.Radius})
+	for i := range sc.tuples {
+		sc.disks = append(sc.disks, sc.tuples[i].disk)
+	}
+	sl, err := skyline.Compute(sc.disks)
+	if err != nil {
+		return fmt.Errorf("engine: node %d: %w", u, err)
+	}
+	cover := sl.Set()
+	hubIn := false
+	canon := make([]int32, 0, len(cover))
+	for _, i := range cover {
+		if i == 0 {
+			hubIn = true
+			continue
+		}
+		canon = append(canon, int32(i-1))
+	}
+	e.fwd[u] = mapCover(canon, sc.tuples)
+	e.hubIn[u] = hubIn
+	if e.cache != nil {
+		e.cache.put(sc.key, cacheEntry{hubIn: hubIn, canon: canon})
+	}
+	return nil
+}
+
+// mapCover translates canonical cover positions back to sorted node IDs.
+func mapCover(canon []int32, tuples []nbTuple) []int {
+	fwd := make([]int, len(canon))
+	for i, p := range canon {
+		fwd[i] = tuples[p].id
+	}
+	sort.Ints(fwd)
+	return fwd
+}
+
+// runErr collects the first error raised inside the worker pool.
+type runErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *runErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *runErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+func TestEngineEmptyNetwork(t *testing.T) {
+	res, err := New(Config{Cache: true}).Compute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forwarding) != 0 || len(res.Neighbors) != 0 || res.Stats.Nodes != 0 {
+		t.Fatalf("empty network: got %+v", res.Stats)
+	}
+}
+
+func TestEngineSingleAndIsolatedNodes(t *testing.T) {
+	// Three nodes too far apart to hear each other: every forwarding set is
+	// empty and every hub covers itself.
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 1},
+		{ID: 1, Pos: geom.Pt(10, 0), Radius: 1},
+		{ID: 2, Pos: geom.Pt(0, 10), Radius: 1},
+	}
+	for _, cache := range []bool{false, true} {
+		res, err := New(Config{Cache: cache}).Compute(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range nodes {
+			if len(res.Forwarding[u]) != 0 || len(res.Neighbors[u]) != 0 {
+				t.Fatalf("isolated node %d: fwd=%v nbrs=%v", u, res.Forwarding[u], res.Neighbors[u])
+			}
+			if !res.HubInCover[u] {
+				t.Fatalf("isolated node %d must cover itself", u)
+			}
+		}
+		if cache {
+			// Identical singleton neighborhoods: first is a miss, rest hit.
+			if res.Stats.CacheHits != 2 || res.Stats.CacheMisses != 1 {
+				t.Fatalf("cache stats = %d hits / %d misses, want 2/1",
+					res.Stats.CacheHits, res.Stats.CacheMisses)
+			}
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.Compute([]network.Node{{ID: 5, Pos: geom.Pt(0, 0), Radius: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "dense") {
+		t.Fatalf("sparse IDs: err = %v", err)
+	}
+	if _, err := e.Compute([]network.Node{{ID: 0, Pos: geom.Pt(0, 0), Radius: 0}}); err == nil ||
+		!strings.Contains(err.Error(), "radius") {
+		t.Fatalf("zero radius: err = %v", err)
+	}
+	if _, err := New(Config{}).Update(nil); err == nil ||
+		!strings.Contains(err.Error(), "before Compute") {
+		t.Fatalf("Update before Compute: err = %v", err)
+	}
+}
+
+// TestEngineCacheRelabelInvariance: the fingerprint orders neighbors by
+// coordinate bits, not by ID, so recomputing a relabeled copy of the same
+// network through a persistent engine hits the cache for every node and
+// yields the permuted forwarding sets.
+func TestEngineCacheRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Heterogeneous, 8), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Cache: true})
+	first, err := e.Compute(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perm[i] = old index now labeled i; inv maps old → new labels.
+	perm := rng.Perm(len(nodes))
+	inv := make([]int, len(nodes))
+	for newID, oldID := range perm {
+		inv[oldID] = newID
+	}
+	relabeled := make([]network.Node, len(nodes))
+	for newID, oldID := range perm {
+		relabeled[newID] = network.Node{ID: newID, Pos: nodes[oldID].Pos, Radius: nodes[oldID].Radius}
+	}
+	second, err := e.Compute(relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.CacheMisses != 0 || second.Stats.CacheHits != int64(len(nodes)) {
+		t.Fatalf("relabeled recompute: %d hits / %d misses, want %d/0",
+			second.Stats.CacheHits, second.Stats.CacheMisses, len(nodes))
+	}
+	for newID, oldID := range perm {
+		want := make([]int, len(first.Forwarding[oldID]))
+		for i, v := range first.Forwarding[oldID] {
+			want[i] = inv[v]
+		}
+		sort.Ints(want)
+		if !equalSets(second.Forwarding[newID], want) {
+			t.Fatalf("node %d (was %d): forwarding = %v, want %v",
+				newID, oldID, second.Forwarding[newID], want)
+		}
+		if first.HubInCover[oldID] != second.HubInCover[newID] {
+			t.Fatalf("node %d (was %d): hubInCover changed under relabeling", newID, oldID)
+		}
+	}
+	if e.CacheLen() == 0 {
+		t.Fatal("cache is empty after two passes")
+	}
+}
+
+// TestEngineSnapshotIsolation: a snapshot taken before an Update must not
+// change when the engine recomputes moved nodes.
+func TestEngineSnapshotIsolation(t *testing.T) {
+	nodes := []network.Node{
+		{ID: 0, Pos: geom.Pt(0, 0), Radius: 2},
+		{ID: 1, Pos: geom.Pt(1, 0), Radius: 2},
+		{ID: 2, Pos: geom.Pt(0, 1), Radius: 2},
+	}
+	e := New(Config{Cache: true})
+	before, err := e.Compute(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFwd := append([]int(nil), before.Forwarding[0]...)
+	wantNbr := append([]int(nil), before.Neighbors[0]...)
+
+	moved := append([]network.Node(nil), nodes...)
+	moved[1].Pos = geom.Pt(50, 50) // leaves everyone's range
+	if _, err := e.Update(moved); err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(before.Forwarding[0], wantFwd) || !equalSets(before.Neighbors[0], wantNbr) {
+		t.Fatalf("snapshot mutated by Update: fwd=%v nbrs=%v", before.Forwarding[0], before.Neighbors[0])
+	}
+	after := e.Result()
+	if len(after.Neighbors[0]) != 1 || after.Neighbors[0][0] != 2 {
+		t.Fatalf("after move, node 0 neighbors = %v, want [2]", after.Neighbors[0])
+	}
+}
+
+// TestEngineInstrumentation checks the obs wiring end to end: Compute and
+// Update book their passes, throughput gauges and cache metrics land in the
+// registry, and uninstalling the registry stops collection.
+func TestEngineInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	Instrument(reg)
+	defer Instrument(nil)
+
+	rng := rand.New(rand.NewSource(3))
+	nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Homogeneous, 6), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Cache: true})
+	if _, err := e.Compute(nodes); err != nil {
+		t.Fatal(err)
+	}
+	moved := append([]network.Node(nil), nodes...)
+	moved[1].Pos = moved[1].Pos.Add(geom.Pt(0.25, 0))
+	if _, err := e.Update(moved); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricComputeTotal]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricComputeTotal, got)
+	}
+	if got := snap.Counters[MetricUpdateTotal]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricUpdateTotal, got)
+	}
+	if got := snap.Counters[MetricNodesTotal]; got != int64(len(nodes)) {
+		t.Fatalf("%s = %d, want %d", MetricNodesTotal, got, len(nodes))
+	}
+	if got := snap.Gauges[MetricNodesPerSec]; got <= 0 {
+		t.Fatalf("%s = %g, want > 0", MetricNodesPerSec, got)
+	}
+	if frac := snap.Gauges[MetricDirtyFraction]; frac <= 0 || frac > 1 {
+		t.Fatalf("%s = %g, want in (0, 1]", MetricDirtyFraction, frac)
+	}
+	if got := snap.Timers[MetricUpdateSeconds].Count; got != 1 {
+		t.Fatalf("%s count = %d, want 1", MetricUpdateSeconds, got)
+	}
+}

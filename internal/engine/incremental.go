@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// Update advances the engine to new node states without redoing the whole
+// network: it diffs the node slice against the engine's current state,
+// marks the dirty neighborhoods, and recomputes only those. This is the
+// consumption path for internal/mobility deltas — step the model, hand the
+// fresh snapshot to Update — and it implements the paper's §5.1.1 point
+// that 1-hop structures are cheap to maintain under mobility: a node's
+// forwarding set can only change when its own local set changes, so the
+// dirty set is exactly the moved nodes plus their old and new neighbors.
+//
+// The node count and ID assignment must match the last Compute; positions
+// and radii may change. Returns a fresh snapshot whose Stats carry the
+// Moved/Dirty accounting.
+func (e *Engine) Update(nodes []network.Node) (*Result, error) {
+	m := engInstr.Load()
+	start := time.Now()
+
+	if e.grid == nil {
+		return nil, fmt.Errorf("engine: Update called before Compute")
+	}
+	if len(nodes) != len(e.nodes) {
+		return nil, fmt.Errorf("engine: Update with %d nodes, engine has %d", len(nodes), len(e.nodes))
+	}
+	var moved []int
+	for i, n := range nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("engine: node at position %d has ID %d; IDs must be dense", i, n.ID)
+		}
+		if !(n.Radius > 0) {
+			return nil, fmt.Errorf("engine: node %d has non-positive radius %g", i, n.Radius)
+		}
+		if n.Pos != e.nodes[i].Pos || n.Radius != e.nodes[i].Radius {
+			moved = append(moved, i)
+		}
+	}
+
+	// Dirty = every moved node, its old neighbors (who may have lost it or
+	// see it at a new relative position), and — after the grid reflects the
+	// moves — its new neighbors (who may have gained it). Everyone else's
+	// local set is bitwise unchanged.
+	dirty := make([]bool, len(nodes))
+	for _, u := range moved {
+		dirty[u] = true
+		for _, v := range e.nbrs[u] {
+			dirty[v] = true
+		}
+	}
+	for _, u := range moved {
+		e.grid.Move(u, nodes[u].Pos)
+		e.nodes[u] = nodes[u]
+	}
+	for _, u := range moved {
+		hub := e.nodes[u]
+		e.grid.VisitWithin(hub.Pos, hub.Radius, func(v int) {
+			if v != u && hub.Pos.Dist(e.nodes[v].Pos) <= e.nodes[v].Radius+geom.Eps {
+				dirty[v] = true
+			}
+		})
+	}
+	var list []int
+	for u, d := range dirty {
+		if d {
+			list = append(list, u)
+		}
+	}
+
+	hits0, misses0 := e.cache.counts()
+	var firstErr runErr
+	workers := e.forEachShard(len(list), func(i int, sc *scratch) {
+		if err := e.computeNode(list[i], sc); err != nil {
+			firstErr.set(err)
+		}
+	})
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+	hits1, misses1 := e.cache.counts()
+
+	e.stats = Stats{
+		Nodes:       len(nodes),
+		Cells:       e.stats.Cells,
+		Workers:     workers,
+		CacheHits:   hits1 - hits0,
+		CacheMisses: misses1 - misses0,
+		Moved:       len(moved),
+		Dirty:       len(list),
+	}
+	for _, nb := range e.nbrs {
+		e.stats.Edges += len(nb)
+	}
+	if m != nil {
+		m.recordUpdate(e.stats, time.Since(start), e.cache)
+	}
+	return e.snapshot(), nil
+}

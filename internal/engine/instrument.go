@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names exported by this package (see docs/OBSERVABILITY.md).
+const (
+	MetricComputeTotal   = "engine_compute_total"
+	MetricComputeSeconds = "engine_compute_seconds"
+	MetricUpdateTotal    = "engine_update_total"
+	MetricUpdateSeconds  = "engine_update_seconds"
+	MetricNodesTotal     = "engine_nodes_total"
+	MetricCellsTotal     = "engine_cells_total"
+	MetricNodesPerSec    = "engine_nodes_per_second"
+	MetricCellsPerSec    = "engine_cells_per_second"
+	MetricCacheHits      = "engine_cache_hits_total"
+	MetricCacheMisses    = "engine_cache_misses_total"
+	MetricCacheHitRatio  = "engine_cache_hit_ratio"
+	MetricCacheEntries   = "engine_cache_entries"
+	MetricWorkers        = "engine_workers"
+	MetricDirtyNodes     = "engine_dirty_nodes"
+	MetricDirtyFraction  = "engine_dirty_fraction"
+)
+
+// engMetrics holds pre-resolved handles so the engine never touches the
+// registry's name map on the hot path. Installed atomically by Instrument.
+type engMetrics struct {
+	computes       *obs.Counter
+	computeSeconds *obs.Timer
+	updates        *obs.Counter
+	updateSeconds  *obs.Timer
+	nodes          *obs.Counter
+	cells          *obs.Counter
+	nodesPerSec    *obs.Gauge
+	cellsPerSec    *obs.Gauge
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheHitRatio  *obs.Gauge
+	cacheEntries   *obs.Gauge
+	workers        *obs.Gauge
+	// dirtyNodes is the per-Update dirty-set size distribution;
+	// dirtyFraction the last Update's dirty share of the network, the
+	// quantity that makes incremental recompute worthwhile.
+	dirtyNodes    *obs.Histogram
+	dirtyFraction *obs.Gauge
+}
+
+// engInstr is the installed instrumentation; nil means disabled, and the
+// engine pays one atomic load per pass.
+var engInstr atomic.Pointer[engMetrics]
+
+// Instrument installs metrics collection for this package into r; nil
+// disables it.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		engInstr.Store(nil)
+		return
+	}
+	engInstr.Store(&engMetrics{
+		computes:       r.Counter(MetricComputeTotal),
+		computeSeconds: r.Timer(MetricComputeSeconds),
+		updates:        r.Counter(MetricUpdateTotal),
+		updateSeconds:  r.Timer(MetricUpdateSeconds),
+		nodes:          r.Counter(MetricNodesTotal),
+		cells:          r.Counter(MetricCellsTotal),
+		nodesPerSec:    r.Gauge(MetricNodesPerSec),
+		cellsPerSec:    r.Gauge(MetricCellsPerSec),
+		cacheHits:      r.Counter(MetricCacheHits),
+		cacheMisses:    r.Counter(MetricCacheMisses),
+		cacheHitRatio:  r.Gauge(MetricCacheHitRatio),
+		cacheEntries:   r.Gauge(MetricCacheEntries),
+		workers:        r.Gauge(MetricWorkers),
+		dirtyNodes:     r.Histogram(MetricDirtyNodes, obs.DefaultSizeBounds...),
+		dirtyFraction:  r.Gauge(MetricDirtyFraction),
+	})
+}
+
+// recordCompute books one finished whole-network pass.
+func (m *engMetrics) recordCompute(s Stats, elapsed time.Duration, cache *skyCache) {
+	m.computes.Inc()
+	m.computeSeconds.Observe(elapsed)
+	m.nodes.Add(int64(s.Nodes))
+	m.cells.Add(int64(s.Cells))
+	if sec := elapsed.Seconds(); sec > 0 {
+		m.nodesPerSec.Set(float64(s.Nodes) / sec)
+		m.cellsPerSec.Set(float64(s.Cells) / sec)
+	}
+	m.workers.Set(float64(s.Workers))
+	m.recordCache(s, cache)
+}
+
+// recordUpdate books one incremental pass.
+func (m *engMetrics) recordUpdate(s Stats, elapsed time.Duration, cache *skyCache) {
+	m.updates.Inc()
+	m.updateSeconds.Observe(elapsed)
+	m.dirtyNodes.Observe(float64(s.Dirty))
+	if s.Nodes > 0 {
+		m.dirtyFraction.Set(float64(s.Dirty) / float64(s.Nodes))
+	}
+	m.recordCache(s, cache)
+}
+
+func (m *engMetrics) recordCache(s Stats, cache *skyCache) {
+	m.cacheHits.Add(s.CacheHits)
+	m.cacheMisses.Add(s.CacheMisses)
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		m.cacheHitRatio.Set(float64(s.CacheHits) / float64(total))
+	}
+	m.cacheEntries.Set(float64(cache.len()))
+}

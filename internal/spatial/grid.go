@@ -6,6 +6,7 @@ package spatial
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/geom"
 )
@@ -70,6 +71,30 @@ func (g *Grid) Move(i int, p geom.Point) {
 		g.cells[old] = cell
 	}
 	g.cells[nk] = append(g.cells[nk], i)
+}
+
+// Cells returns the occupied grid cells as slices of point indices, in a
+// deterministic order (sorted by cell coordinates). Together the slices
+// partition [0, Len()), which makes them natural shards for whole-index
+// passes: nearby points share a cell, so per-cell work has good locality.
+// The inner slices alias the grid's internal storage — callers must not
+// modify them, and Move invalidates them.
+func (g *Grid) Cells() [][]int {
+	keys := make([]cellKey, 0, len(g.cells))
+	for k := range g.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	out := make([][]int, len(keys))
+	for i, k := range keys {
+		out[i] = g.cells[k]
+	}
+	return out
 }
 
 // Within returns the indices of all points p with ‖p − q‖ ≤ radius,

@@ -29,6 +29,7 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/cds"
 	"repro/internal/deploy"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/forwarding"
 	"repro/internal/geom"
@@ -78,7 +79,31 @@ func Instrument(reg *MetricsRegistry, events *EventSink) {
 	skyline.Instrument(reg)
 	broadcast.Instrument(reg, events)
 	experiments.Instrument(reg, events)
+	engine.Instrument(reg)
 }
+
+// Whole-network engine types. The engine computes every node's forwarding
+// set in one batched pass — spatial-grid neighbor discovery, a worker pool
+// sharded over grid cells, an optional skyline cache, and an incremental
+// recompute path for mobility deltas. Its output is element-identical to
+// running ForwardingSet per node; see docs/TESTING.md for the harness that
+// proves it.
+type (
+	// Engine is the batched whole-network MLDCS engine.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine (workers, cache, grid cell).
+	EngineConfig = engine.Config
+	// EngineResult is a per-node snapshot of forwarding sets, hub-cover
+	// flags, neighborhoods, and pass statistics.
+	EngineResult = engine.Result
+	// EngineStats summarizes one engine pass.
+	EngineStats = engine.Stats
+)
+
+// NewEngine returns a whole-network MLDCS engine. Compute solves the full
+// network; Update consumes movement deltas and recomputes only the dirtied
+// neighborhoods.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // Geometry types.
 type (
@@ -305,7 +330,7 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConf
 
 // RunExperiment regenerates one of the paper's figures (or an extension
 // experiment). Valid IDs: "fig5.1", "fig5.2", "fig5.3", "fig5.4",
-// "fig5.5", "fig5.6", "scaling", "storm-homogeneous",
+// "fig5.5", "fig5.6", "scaling", "engine-scaling", "storm-homogeneous",
 // "storm-heterogeneous", "mobility", "collision-homogeneous",
 // "collision-heterogeneous", "protocols-homogeneous",
 // "protocols-heterogeneous", "energy-homogeneous",
@@ -332,6 +357,8 @@ func runExperiment(id string, cfg ExperimentConfig) (Figure, error) {
 		return experiments.Fig56(cfg)
 	case "scaling":
 		return experiments.Scaling(cfg, nil, 0)
+	case "engine-scaling":
+		return experiments.EngineScaling(cfg, nil)
 	case "storm-homogeneous":
 		return experiments.Storm(cfg, deploy.Homogeneous)
 	case "storm-heterogeneous":
@@ -395,7 +422,7 @@ func WriteReport(dir string, figs []Figure) error {
 func ExperimentIDs() []string {
 	return []string{
 		"fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6",
-		"scaling", "storm-homogeneous", "storm-heterogeneous", "mobility",
+		"scaling", "engine-scaling", "storm-homogeneous", "storm-heterogeneous", "mobility",
 		"collision-homogeneous", "collision-heterogeneous",
 		"protocols-homogeneous", "protocols-heterogeneous",
 		"energy-homogeneous", "energy-heterogeneous",
