@@ -1,12 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover fuzz fuzz-smoke experiments examples clean
+.PHONY: all build test race bench cover fuzz fuzz-smoke lint-eps experiments examples clean
 
-all: build test
+all: build lint-eps test
 
 build:
 	go build ./...
 	go vet ./...
+
+# Forbid raw epsilon comparisons outside internal/geom (docs/NUMERICS.md).
+lint-eps:
+	sh scripts/lint-eps.sh
 
 test:
 	go test ./...

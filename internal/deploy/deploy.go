@@ -94,7 +94,7 @@ func (c Config) ExpectedMinRadiusSq() float64 {
 		return c.RadiusMin * c.RadiusMin
 	}
 	a, b := c.RadiusMin, c.RadiusMax
-	if b-a <= geom.Eps {
+	if geom.LengthEq(a, b) {
 		return a * a
 	}
 	// ∫_a^b 2t (b − t)² dt = [b²t² − (4b/3)t³ + t⁴/2]_a^b

@@ -61,6 +61,11 @@ type Stats struct {
 	// Compute reports Dirty == Nodes.
 	Moved int
 	Dirty int
+	// Fallbacks counts the nodes in this pass whose computed skyline
+	// failed the runtime invariant check (skyline.CheckInvariants) and
+	// were given the always-correct full local set instead — a degenerate
+	// input degrades to a bigger forwarding set, never a wrong one.
+	Fallbacks int
 }
 
 // Result is a snapshot of the engine's per-node output. The top-level
@@ -93,6 +98,17 @@ type Engine struct {
 	nbrs  [][]int
 	cache *skyCache
 	stats Stats
+	// fallbacks counts degeneracy fallbacks within the current pass;
+	// atomic because computeNode runs on the worker pool.
+	fallbacks atomic.Int64
+}
+
+// checkInvariants is the runtime envelope check computeNode applies to
+// every freshly computed skyline. A package variable so the fallback path
+// can be exercised deterministically from tests; production code never
+// reassigns it.
+var checkInvariants = func(sl skyline.Skyline, n int) error {
+	return sl.CheckInvariants(n)
 }
 
 // New returns an engine with the given configuration. The cache, when
@@ -132,6 +148,7 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 	e.nbrs = make([][]int, len(nodes))
 	e.grid = nil
 	e.stats = Stats{Nodes: len(nodes)}
+	e.fallbacks.Store(0)
 
 	if len(nodes) == 0 {
 		return e.snapshot(), nil
@@ -163,6 +180,7 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 	}
 	e.stats.Workers = workers
 	e.stats.Dirty = len(nodes)
+	e.stats.Fallbacks = int(e.fallbacks.Load())
 	hits1, misses1 := e.cache.counts()
 	e.stats.CacheHits = hits1 - hits0
 	e.stats.CacheMisses = misses1 - misses0
@@ -274,7 +292,7 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		if v == u {
 			return
 		}
-		if hub.Pos.Dist(e.nodes[v].Pos) > e.nodes[v].Radius+geom.Eps {
+		if !geom.Reaches(e.nodes[v].Pos, hub.Pos, e.nodes[v].Radius) {
 			return // v cannot reach back
 		}
 		sc.ids = append(sc.ids, v)
@@ -333,6 +351,10 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 	if err != nil {
 		return fmt.Errorf("engine: node %d: %w", u, err)
 	}
+	if ierr := checkInvariants(sl, len(sc.disks)); ierr != nil {
+		e.fallbackNode(u, ierr)
+		return nil
+	}
 	cover := sl.Set()
 	hubIn := false
 	canon := make([]int32, 0, len(cover))
@@ -349,6 +371,22 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		e.cache.put(sc.key, cacheEntry{hubIn: hubIn, canon: canon})
 	}
 	return nil
+}
+
+// fallbackNode installs the degeneracy-safe answer for node u after its
+// computed skyline failed the runtime invariant check: the full local set
+// — every neighbor relays and the hub's own disk stays in the cover —
+// which is a correct (if non-minimal) cover of any local disk set. The
+// event is counted in Stats.Fallbacks and logged through internal/obs.
+// The result is deliberately not cached: a fingerprint-colliding healthy
+// neighborhood must not replay a degenerate answer.
+func (e *Engine) fallbackNode(u int, cause error) {
+	e.fwd[u] = append([]int(nil), e.nbrs[u]...)
+	e.hubIn[u] = true
+	e.fallbacks.Add(1)
+	if m := engInstr.Load(); m != nil {
+		m.recordFallback(u, len(e.nbrs[u]), cause)
+	}
 }
 
 // mapCover translates canonical cover positions back to sorted node IDs.

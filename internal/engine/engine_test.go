@@ -156,8 +156,8 @@ func TestEngineSnapshotIsolation(t *testing.T) {
 // registry, and uninstalling the registry stops collection.
 func TestEngineInstrumentation(t *testing.T) {
 	reg := obs.NewRegistry()
-	Instrument(reg)
-	defer Instrument(nil)
+	Instrument(reg, nil)
+	defer Instrument(nil, nil)
 
 	rng := rand.New(rand.NewSource(3))
 	nodes, err := deploy.Generate(deploy.PaperConfig(deploy.Homogeneous, 6), rng)

@@ -61,7 +61,10 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	for _, u := range moved {
 		hub := e.nodes[u]
 		e.grid.VisitWithin(hub.Pos, hub.Radius, func(v int) {
-			if v != u && hub.Pos.Dist(e.nodes[v].Pos) <= e.nodes[v].Radius+geom.Eps {
+			// Same reverse-link predicate as computeNode and network.Build:
+			// the dirty set must include exactly the nodes that gained u as
+			// a neighbor under the canonical link comparison.
+			if v != u && geom.Reaches(e.nodes[v].Pos, hub.Pos, e.nodes[v].Radius) {
 				dirty[v] = true
 			}
 		})
@@ -74,6 +77,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	}
 
 	hits0, misses0 := e.cache.counts()
+	e.fallbacks.Store(0)
 	var firstErr runErr
 	workers := e.forEachShard(len(list), func(i int, sc *scratch) {
 		if err := e.computeNode(list[i], sc); err != nil {
@@ -93,6 +97,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 		CacheMisses: misses1 - misses0,
 		Moved:       len(moved),
 		Dirty:       len(list),
+		Fallbacks:   int(e.fallbacks.Load()),
 	}
 	for _, nb := range e.nbrs {
 		e.stats.Edges += len(nb)

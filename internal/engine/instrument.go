@@ -24,6 +24,11 @@ const (
 	MetricWorkers        = "engine_workers"
 	MetricDirtyNodes     = "engine_dirty_nodes"
 	MetricDirtyFraction  = "engine_dirty_fraction"
+	MetricFallbacks      = "engine_fallback_total"
+
+	// EventFallback is emitted once per node whose computed skyline failed
+	// the runtime invariant check and was replaced by the full local set.
+	EventFallback = "engine_fallback"
 )
 
 // engMetrics holds pre-resolved handles so the engine never touches the
@@ -47,16 +52,21 @@ type engMetrics struct {
 	// quantity that makes incremental recompute worthwhile.
 	dirtyNodes    *obs.Histogram
 	dirtyFraction *obs.Gauge
+	// fallbacks counts degeneracy fallbacks: nodes whose skyline failed
+	// the runtime invariant check and got the full local set instead.
+	fallbacks *obs.Counter
+	sink      *obs.EventSink
 }
 
 // engInstr is the installed instrumentation; nil means disabled, and the
 // engine pays one atomic load per pass.
 var engInstr atomic.Pointer[engMetrics]
 
-// Instrument installs metrics collection for this package into r; nil
-// disables it.
-func Instrument(r *obs.Registry) {
-	if r == nil {
+// Instrument installs metrics collection (and, optionally, a structured
+// event trace for degeneracy fallbacks) for this package. Either argument
+// may be nil; passing both nil disables instrumentation entirely.
+func Instrument(r *obs.Registry, sink *obs.EventSink) {
+	if r == nil && sink == nil {
 		engInstr.Store(nil)
 		return
 	}
@@ -76,6 +86,18 @@ func Instrument(r *obs.Registry) {
 		workers:        r.Gauge(MetricWorkers),
 		dirtyNodes:     r.Histogram(MetricDirtyNodes, obs.DefaultSizeBounds...),
 		dirtyFraction:  r.Gauge(MetricDirtyFraction),
+		fallbacks:      r.Counter(MetricFallbacks),
+		sink:           sink,
+	})
+}
+
+// recordFallback books one degeneracy fallback and emits the trace event.
+func (m *engMetrics) recordFallback(node, neighbors int, cause error) {
+	m.fallbacks.Inc()
+	m.sink.Emit(EventFallback, map[string]any{
+		"node":      node,
+		"neighbors": neighbors,
+		"cause":     cause.Error(),
 	})
 }
 

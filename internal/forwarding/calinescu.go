@@ -1,7 +1,6 @@
 package forwarding
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/geom"
@@ -135,7 +134,7 @@ func homogeneous(g *network.Graph) bool {
 	}
 	r := nodes[0].Radius
 	for _, n := range nodes[1:] {
-		if math.Abs(n.Radius-r) > geom.Eps {
+		if !geom.LengthEq(n.Radius, r) {
 			return false
 		}
 	}

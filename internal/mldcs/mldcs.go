@@ -43,11 +43,11 @@ func (ls LocalSet) Validate() error {
 			return fmt.Errorf("%w: neighbor %d radius %g is not positive", ErrNotLocalSet, i, d.R)
 		}
 		dist := ls.Hub.C.Dist(d.C)
-		if dist > ls.Hub.R+geom.Eps {
+		if !geom.LinkWithin(dist, ls.Hub.R) {
 			return fmt.Errorf("%w: neighbor %d at distance %g exceeds hub radius %g",
 				ErrNotLocalSet, i, dist, ls.Hub.R)
 		}
-		if dist > d.R+geom.Eps {
+		if !geom.LinkWithin(dist, d.R) {
 			return fmt.Errorf("%w: neighbor %d at distance %g exceeds its own radius %g "+
 				"(hub not covered; link would be unidirectional)", ErrNotLocalSet, i, dist, d.R)
 		}

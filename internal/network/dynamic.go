@@ -47,8 +47,8 @@ func (g *Graph) MoveNode(u int, pos geom.Point) error {
 			return
 		}
 		d := pos.Dist(g.nodes[v].Pos)
-		uReaches := d <= self.Radius+geom.Eps
-		vReaches := d <= g.nodes[v].Radius+geom.Eps
+		uReaches := geom.LinkWithin(d, self.Radius)
+		vReaches := geom.LinkWithin(d, g.nodes[v].Radius)
 		if g.model == Bidirectional {
 			if uReaches && vReaches {
 				g.out[u] = append(g.out[u], v)

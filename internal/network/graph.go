@@ -97,7 +97,7 @@ func Build(nodes []Node, model LinkModel) (*Graph, error) {
 			if v == u {
 				return
 			}
-			if model == Bidirectional && nodes[u].Pos.Dist(nodes[v].Pos) > nodes[v].Radius+geom.Eps {
+			if model == Bidirectional && !geom.Reaches(nodes[v].Pos, nodes[u].Pos, nodes[v].Radius) {
 				return // v cannot reach back
 			}
 			g.out[u] = append(g.out[u], v)

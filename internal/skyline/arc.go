@@ -129,7 +129,7 @@ func (s Skyline) ArcCount() int {
 func (s Skyline) Combine() Skyline {
 	out := make(Skyline, 0, len(s))
 	for _, a := range s {
-		if a.Span() <= geom.AngleEps {
+		if geom.AngleSliver(a.Start, a.End) {
 			// Sliver: extend the previous arc over it instead of keeping it.
 			if len(out) > 0 {
 				out[len(out)-1].End = a.End

@@ -109,7 +109,7 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Sk
 	bps = append(bps, geom.TwoPi)
 	sort.Float64s(bps)
 	bps = dedupeAngles(bps)
-	if len(bps) == 0 || bps[0] > geom.AngleEps {
+	if len(bps) == 0 || !geom.AngleSliver(0, bps[0]) {
 		bps = append([]float64{0}, bps...)
 	} else {
 		bps[0] = 0
@@ -124,7 +124,7 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Sk
 	i1, i2 := 0, 0
 	for k := 0; k+1 < len(bps); k++ {
 		a, b := bps[k], bps[k+1]
-		if b-a <= geom.AngleEps {
+		if geom.AngleSliver(a, b) {
 			continue
 		}
 		m := (a + b) / 2
@@ -193,7 +193,7 @@ func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesc
 	sort.Float64s(cuts[1 : n-1])
 	for k := 0; k+1 < n; k++ {
 		lo, hi := cuts[k], cuts[k+1]
-		if hi-lo <= geom.AngleEps {
+		if geom.AngleSliver(lo, hi) {
 			continue
 		}
 		out = appendArc(out, lo, hi, winner(disks, u, v, (lo+hi)/2), coalesce)

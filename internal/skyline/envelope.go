@@ -20,11 +20,13 @@ var (
 	ErrInvalidRadius = errors.New("skyline: disk radius must be positive and finite")
 )
 
-// tieEps is the tolerance below which two envelope values are considered
-// equal and broken by the canonical tie-break (larger radius, then lower
-// index). It is looser than geom.Eps because ρ values accumulate a sqrt and
-// a dot product of rounding error.
-const tieEps = 1e-9
+// Envelope values are compared with geom.RhoCmp (tolerance geom.RhoEps):
+// two ρ values within RhoEps are a tie, broken by the canonical rule in
+// betterTie (larger radius, then lower index). This package used to carry
+// a private tieEps for this; it was numerically identical to geom.RhoEps
+// and is gone — ρ values are linear-unit distances, and a divergent tie
+// tolerance here would let the skyline disagree with the link predicates
+// about boundary rays (see docs/NUMERICS.md).
 
 // checkLocal validates that the disks form a local disk set in the
 // hub-at-origin frame.
@@ -52,11 +54,11 @@ func Rho(disks []geom.Disk, theta float64) (float64, int) {
 	arg := -1
 	for i, d := range disks {
 		r := d.RayDist(theta)
-		if arg < 0 || r > best+tieEps {
+		if arg < 0 || geom.RhoCmp(r, best) > 0 {
 			best, arg = r, i
 			continue
 		}
-		if r >= best-tieEps && betterTie(disks, i, arg) {
+		if geom.RhoCmp(r, best) == 0 && betterTie(disks, i, arg) {
 			best, arg = math.Max(r, best), i
 		}
 	}
@@ -77,18 +79,19 @@ func betterTie(disks []geom.Disk, i, j int) bool {
 
 // winner returns the index (i or j) of the disk with the larger ray
 // distance at theta, applying the canonical tie-break when the values are
-// within tieEps.
+// within geom.RhoEps.
 func winner(disks []geom.Disk, i, j int, theta float64) int {
 	ri := disks[i].RayDist(theta)
 	rj := disks[j].RayDist(theta)
-	switch {
-	case ri > rj+tieEps:
+	switch geom.RhoCmp(ri, rj) {
+	case +1:
 		return i
-	case rj > ri+tieEps:
+	case -1:
 		return j
-	case betterTie(disks, i, j):
-		return i
 	default:
+		if betterTie(disks, i, j) {
+			return i
+		}
 		return j
 	}
 }
@@ -125,7 +128,7 @@ func crossingAngles(disks []geom.Disk, i, j int) (out [6]float64, n int) {
 		}
 	}
 	for _, d := range [2]geom.Disk{disks[i], disks[j]} {
-		if math.Abs(d.C.Norm()-d.R) <= geom.Eps {
+		if geom.LengthEq(d.C.Norm(), d.R) {
 			a := d.C.Angle()
 			out[n] = geom.NormalizeAngle(a + math.Pi/2)
 			n++

@@ -1,0 +1,41 @@
+package skyline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// CheckInvariants verifies the runtime invariants a consumer of a computed
+// skyline relies on, beyond what the constructors promise by construction:
+//
+//   - structural validity (Validate): non-empty, in-range disk indices,
+//     positive spans, and contiguous arcs tiling exactly [0, 2π) — which
+//     rules out non-partitioning breakpoints and uncovered gaps;
+//   - the Lemma 8 arc bound: at most 2n arcs for n disks (a violation
+//     means the merge produced a structurally impossible envelope);
+//   - ray coverage: probe rays must land inside the arc that binary
+//     search locates, catching misordered or non-finite arc angles that
+//     pairwise contiguity checks can miss.
+//
+// It returns a descriptive error on the first violation, nil otherwise.
+// The whole-network engine runs this check on every computed envelope and
+// falls back to the full local set when it fails (see internal/engine),
+// so a degenerate input degrades to a bigger-but-correct forwarding set
+// instead of a wrong one.
+func (s Skyline) CheckInvariants(n int) error {
+	if err := s.Validate(n); err != nil {
+		return err
+	}
+	if c, bound := s.ArcCount(), 2*n; c > bound {
+		return fmt.Errorf("skyline: %d arcs exceed the Lemma 8 bound 2n = %d", c, bound)
+	}
+	for _, theta := range [...]float64{0, math.Pi / 3, math.Pi, 3 * math.Pi / 2} {
+		a := s[s.At(theta)]
+		if !geom.CoversAngle(geom.NormalizeAngle(theta), a.Start, a.End) {
+			return fmt.Errorf("skyline: ray θ=%g is covered by no arc", theta)
+		}
+	}
+	return nil
+}

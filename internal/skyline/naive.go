@@ -32,7 +32,7 @@ func ComputeNaive(disks []geom.Disk) (Skyline, error) {
 	var out Skyline
 	for k := 0; k+1 < len(angles); k++ {
 		a, b := angles[k], angles[k+1]
-		if b-a <= geom.AngleEps {
+		if geom.AngleSliver(a, b) {
 			continue
 		}
 		_, win := Rho(disks, (a+b)/2)
@@ -53,7 +53,7 @@ func ComputeNaive(disks []geom.Disk) (Skyline, error) {
 func dedupeAngles(angles []float64) []float64 {
 	out := angles[:0]
 	for _, a := range angles {
-		if len(out) == 0 || a-out[len(out)-1] > geom.AngleEps {
+		if len(out) == 0 || !geom.AngleSliver(out[len(out)-1], a) {
 			out = append(out, a)
 		}
 	}

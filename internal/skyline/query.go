@@ -24,10 +24,10 @@ func (s Skyline) RadialDistance(disks []geom.Disk, theta float64) float64 {
 // its angle — an O(log n) point-location query.
 func (s Skyline) Contains(disks []geom.Disk, p geom.Point) bool {
 	r := p.Norm()
-	if r <= geom.Eps {
+	if geom.ZeroLength(r) {
 		return true // the hub is in every disk of a local set
 	}
-	return r <= s.RadialDistance(disks, p.Angle())+geom.Eps
+	return geom.RhoCovers(s.RadialDistance(disks, p.Angle()), r)
 }
 
 // Perimeter returns the exact length of the union's boundary: each arc

@@ -97,8 +97,9 @@ func (g *Grid) Cells() [][]int {
 	return out
 }
 
-// Within returns the indices of all points p with ‖p − q‖ ≤ radius,
-// in unspecified order.
+// Within returns the indices of all points p with ‖p − q‖ ≤ radius
+// (accepting boundary points the way geom.LinkWithin does), in
+// unspecified order.
 func (g *Grid) Within(q geom.Point, radius float64) []int {
 	var out []int
 	g.VisitWithin(q, radius, func(i int) {
@@ -107,21 +108,27 @@ func (g *Grid) Within(q geom.Point, radius float64) []int {
 	return out
 }
 
-// VisitWithin calls fn for every point within radius of q. It allocates
-// nothing beyond what fn does, making it suitable for hot loops.
+// VisitWithin calls fn for every point within radius of q. The distance
+// filter is geom.LinkWithin2 — the squared image of the canonical link
+// predicate — so a grid query accepts exactly the points a linear-space
+// ‖p − q‖ ≤ radius check (geom.LinkWithin) would. It allocates nothing
+// beyond what fn does, making it suitable for hot loops.
 func (g *Grid) VisitWithin(q geom.Point, radius float64, fn func(i int)) {
 	if radius < 0 {
 		return
 	}
-	r2 := radius * radius
-	x0 := int(math.Floor((q.X - radius) / g.cell))
-	x1 := int(math.Floor((q.X + radius) / g.cell))
-	y0 := int(math.Floor((q.Y - radius) / g.cell))
-	y1 := int(math.Floor((q.Y + radius) / g.cell))
+	// The cell window must cover the tolerant acceptance disk of radius
+	// radius+Eps, or a boundary point sitting just across a cell border
+	// would pass the distance filter but never be scanned.
+	reach := radius + geom.Eps
+	x0 := int(math.Floor((q.X - reach) / g.cell))
+	x1 := int(math.Floor((q.X + reach) / g.cell))
+	y0 := int(math.Floor((q.Y - reach) / g.cell))
+	y1 := int(math.Floor((q.Y + reach) / g.cell))
 	for x := x0; x <= x1; x++ {
 		for y := y0; y <= y1; y++ {
 			for _, i := range g.cells[cellKey{x, y}] {
-				if g.pts[i].Dist2(q) <= r2+geom.Eps {
+				if geom.LinkWithin2(g.pts[i].Dist2(q), radius) {
 					fn(i)
 				}
 			}

@@ -62,6 +62,47 @@ func TestWithinEdgeCases(t *testing.T) {
 	}
 }
 
+// TestWithinBoundaryDistanceAgreesWithLinkPredicate is the regression
+// test for the squared-space epsilon bug: the grid filter used to compare
+// Dist² against r²+Eps, while the link layer compares Dist against r+Eps.
+// Since (r+Eps)² ≈ r² + 2rEps, the old filter was stricter for r > 0.5
+// and dropped true boundary neighbors — e.g. a point at distance r+Eps/2
+// of a radius-5 query. The grid must now accept exactly the points
+// geom.LinkWithin accepts, at every radius scale.
+func TestWithinBoundaryDistanceAgreesWithLinkPredicate(t *testing.T) {
+	for _, r := range []float64{0.25, 1, 2, 5, 100} {
+		center := geom.Pt(0, 0)
+		offsets := []struct {
+			name string
+			dx   float64
+			want bool
+		}{
+			{"exactly-r", r, true},
+			{"r-minus-half-eps", r - geom.Eps/2, true},
+			{"r-plus-half-eps", r + geom.Eps/2, true}, // dropped by the old filter for r ≥ 1
+			{"r-plus-2eps", r + 2*geom.Eps, false},
+		}
+		pts := make([]geom.Point, len(offsets))
+		for i, o := range offsets {
+			pts[i] = geom.Pt(o.dx, 0)
+		}
+		g := NewGrid(pts, r)
+		got := make(map[int]bool)
+		for _, i := range g.Within(center, r) {
+			got[i] = true
+		}
+		for i, o := range offsets {
+			if lin := geom.LinkWithin(pts[i].Dist(center), r); lin != o.want {
+				t.Fatalf("r=%g %s: test premise broken, LinkWithin = %v", r, o.name, lin)
+			}
+			if got[i] != o.want {
+				t.Errorf("r=%g: point at %s in grid result = %v, want %v (link predicate)",
+					r, o.name, got[i], o.want)
+			}
+		}
+	}
+}
+
 func TestEmptyGrid(t *testing.T) {
 	g := NewGrid(nil, 1)
 	if g.Len() != 0 {

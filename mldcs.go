@@ -79,7 +79,7 @@ func Instrument(reg *MetricsRegistry, events *EventSink) {
 	skyline.Instrument(reg)
 	broadcast.Instrument(reg, events)
 	experiments.Instrument(reg, events)
-	engine.Instrument(reg)
+	engine.Instrument(reg, events)
 }
 
 // Whole-network engine types. The engine computes every node's forwarding

@@ -1,0 +1,45 @@
+#!/bin/sh
+# lint-eps: forbid raw epsilon comparisons outside the predicates layer.
+#
+# Every tolerance comparison must go through internal/geom/predicates.go
+# (docs/NUMERICS.md). This script greps non-test Go files outside
+# internal/geom for the patterns the migration removed:
+#
+#   - arithmetic with Eps / geom.Eps / AngleEps / geom.AngleEps /
+#     RhoEps / geom.RhoEps inside a comparison (e.g. `d <= r+geom.Eps`,
+#     `x > geom.AngleEps`)
+#   - any resurrection of the old private tieEps constant
+#
+# Mentioning the constants is fine (passing geom.Eps as a jitter
+# magnitude, widening a scan window); *comparing* with them is not.
+# Exits 1 and lists offending lines if any are found.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern='(<=?|>=?|==|!=)[^,;]*\b(geom\.)?(Eps|AngleEps|RhoEps)\b|\b(geom\.)?(Eps|AngleEps|RhoEps)\b[^,;)]*(<=?|>=?|==|!=)|\btieEps\b'
+
+files=$(find . -name '*.go' ! -name '*_test.go' \
+    ! -path './internal/geom/*' ! -path './.git/*')
+
+# Strip line comments before matching so prose about the policy
+# (e.g. "accepts points with d <= r+Eps") does not trip the linter.
+bad=0
+for f in $files; do
+    hits=$(sed 's|//.*||' "$f" | grep -nE "$pattern" | sed "s|^|$f:|" || true)
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done
+
+if [ "$bad" -ne 0 ]; then
+    echo >&2
+    echo "lint-eps: raw epsilon comparison outside internal/geom." >&2
+    echo "Use the predicates in internal/geom/predicates.go instead" >&2
+    echo "(LinkWithin, LinkWithin2, Reaches, LengthEq, ZeroLength," >&2
+    echo "RhoCmp, RhoCovers, AngleSliver). See docs/NUMERICS.md." >&2
+    exit 1
+fi
+echo "lint-eps: ok"
