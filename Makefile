@@ -1,16 +1,24 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover fuzz fuzz-smoke lint-eps experiments examples clean
+.PHONY: all build test race bench cover fuzz fuzz-smoke lint lint-eps experiments examples clean
 
-all: build lint-eps test
+all: build lint test
 
 build:
 	go build ./...
-	go vet ./...
 
-# Forbid raw epsilon comparisons outside internal/geom (docs/NUMERICS.md).
+# go vet plus the project lint suite (cmd/mldcslint): epsilon policy,
+# float equality, angle normalization, obs-sink, and dropped skyline
+# errors. See docs/STATIC_ANALYSIS.md.
+lint:
+	go vet ./...
+	go run ./cmd/mldcslint ./...
+
+# Deprecated alias: the grep-based scripts/lint-eps.sh became the
+# AST-aware epspolicy analyzer inside `make lint`.
 lint-eps:
-	sh scripts/lint-eps.sh
+	@echo "make lint-eps is deprecated; running make lint (go vet + mldcslint)." >&2
+	@$(MAKE) lint
 
 test:
 	go test ./...

@@ -1,0 +1,97 @@
+// Command mldcslint runs the repository's go/analysis lint suite
+// (internal/analysis): project-specific analyzers that machine-check the
+// geometry, numerics, and observability invariants documented in
+// docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//
+//	mldcslint [-run name,name,...] [packages]
+//
+// Packages default to ./... — the whole module. The exit code is 0 when
+// the tree is clean, 1 when any analyzer reported a diagnostic, and 2
+// when loading or analysis itself failed.
+//
+// It replaces scripts/lint-eps.sh: where the grep matched single-line
+// token patterns, the analyzers here resolve identifiers through the type
+// checker, so aliased imports, multi-line comparisons, and locally
+// propagated tolerances are all caught.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	xanalysis "golang.org/x/tools/go/analysis"
+
+	mldcs "repro/internal/analysis"
+	"repro/internal/analysis/checker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mldcslint", flag.ExitOnError)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mldcslint [-run name,...] [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the mldcslint analyzer suite (docs/STATIC_ANALYSIS.md) over the\n")
+		fmt.Fprintf(fs.Output(), "named packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := mldcs.All()
+	if *list {
+		for _, a := range suite {
+			title, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-15s %s\n", a.Name, title)
+		}
+		return 0
+	}
+	if *runList != "" {
+		byName := map[string]*xanalysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*xanalysis.Analyzer
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mldcslint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := checker.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mldcslint: %v\n", err)
+		return 2
+	}
+	diags, err := checker.Run(suite, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mldcslint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mldcslint: %d finding(s); see docs/STATIC_ANALYSIS.md for the policy and the //mldcslint:allow escape hatch\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+// Package allowdirective implements the mldcslint escape hatch.
+//
+// A diagnostic from analyzer <name> is suppressed when the line it points
+// at, or the line immediately above it, carries a comment of the form
+//
+//	//mldcslint:allow <name> <reason>
+//
+// The <name> field may list several analyzers separated by commas
+// (no spaces). The reason is free text; it is not machine-checked, but
+// reviewers should reject a directive without one. See
+// docs/STATIC_ANALYSIS.md.
+package allowdirective
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "mldcslint:allow"
+
+// Allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed by an //mldcslint:allow directive in file. The file must be
+// the one containing pos and must have been parsed with comments.
+func Allowed(fset *token.FileSet, file *ast.File, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			// The canonical form has no space after // (a Go directive
+			// comment), but tolerate one.
+			text = strings.TrimLeft(text, " \t")
+			if !strings.HasPrefix(text, prefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, prefix))
+			if len(fields) == 0 {
+				continue
+			}
+			match := false
+			for _, n := range strings.Split(fields[0], ",") {
+				if n == name {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			if cl := fset.Position(c.Pos()).Line; cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the *ast.File among files that contains pos, or nil.
+func FileFor(fset *token.FileSet, files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Most mldcslint
+// analyzers exempt test files: tests exercise boundary values on purpose
+// and assert exact outcomes the library must approximate.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,83 @@
+package allowdirective_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/allowdirective"
+)
+
+const src = `package p
+
+func f(a, b float64) {
+	_ = a == b //mldcslint:allow floatcmp same-line reason
+	//mldcslint:allow floatcmp line-above reason
+	_ = a == b
+	_ = a == b //mldcslint:allow epspolicy wrong analyzer
+	//mldcslint:allow floatcmp,epspolicy multi-name reason
+	_ = a == b
+	//mldcslint:allow floatcmp too far away
+
+	_ = a == b
+	_ = a == b // mldcslint:allow floatcmp tolerated leading space
+}
+`
+
+// exprLines returns the line of each `a == b` expression in order.
+func exprPositions(t *testing.T, fset *token.FileSet, file *ast.File) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(file, func(n ast.Node) bool {
+		if e, ok := n.(*ast.BinaryExpr); ok && e.Op == token.EQL {
+			out = append(out, e.Pos())
+		}
+		return true
+	})
+	if len(out) != 6 {
+		t.Fatalf("found %d comparisons, want 6", len(out))
+	}
+	return out
+}
+
+func TestAllowed(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := exprPositions(t, fset, file)
+	cases := []struct {
+		name string
+		pos  token.Pos
+		want bool
+		why  string
+	}{
+		{"floatcmp", pos[0], true, "same-line directive"},
+		{"floatcmp", pos[1], true, "directive on the line above"},
+		{"floatcmp", pos[2], false, "directive names a different analyzer"},
+		{"epspolicy", pos[2], true, "directive names this analyzer"},
+		{"floatcmp", pos[3], true, "comma-separated multi-name directive"},
+		{"epspolicy", pos[3], true, "comma-separated multi-name directive"},
+		{"floatcmp", pos[4], false, "directive two lines above does not apply"},
+		{"floatcmp", pos[5], true, "same-line directive with a space after //"},
+	}
+	for _, c := range cases {
+		if got := allowdirective.Allowed(fset, file, c.pos, c.name); got != c.want {
+			t.Errorf("Allowed(%s at %s) = %v, want %v (%s)",
+				c.name, fset.Position(c.pos), got, c.want, c.why)
+		}
+	}
+}
+
+func TestInTestFile(t *testing.T) {
+	fset := token.NewFileSet()
+	f1, _ := parser.ParseFile(fset, "x_test.go", "package p", 0)
+	f2, _ := parser.ParseFile(fset, "x.go", "package p", 0)
+	if !allowdirective.InTestFile(fset, f1.Pos()) {
+		t.Error("x_test.go not recognized as a test file")
+	}
+	if allowdirective.InTestFile(fset, f2.Pos()) {
+		t.Error("x.go recognized as a test file")
+	}
+}

@@ -1,0 +1,230 @@
+// Package analysistest runs a go/analysis analyzer over fixture packages
+// and checks its diagnostics against `// want` expectations, mirroring
+// the golang.org/x/tools/go/analysis/analysistest contract on a plain
+// standard-library loader (the repository vendors only the go/analysis
+// core).
+//
+// Fixture layout, identical to the upstream harness:
+//
+//	<analyzer>/testdata/src/<importpath>/*.go
+//
+// A fixture file marks each expected diagnostic with a trailing comment
+// on the line the diagnostic points at:
+//
+//	return d <= r+geom.Eps // want `comparison uses geom\.Eps`
+//
+// The comment may carry several quoted or backquoted regular expressions;
+// each must be matched by a distinct diagnostic on that line. Diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test.
+//
+// Fixture imports resolve first against testdata/src/<importpath> (so a
+// fixture can stub repro/internal/geom under its real import path), then
+// against the standard library via compiler export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/checker"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return dir
+}
+
+// Run loads each fixture package (an import path under testdata/src),
+// applies the analyzer, and checks the diagnostics against the fixtures'
+// `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		src:  filepath.Join(testdata, "src"),
+		fset: fset,
+		pkgs: map[string]*fixturePkg{},
+	}
+	ld.std = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := checker.ExportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+	for _, pattern := range patterns {
+		fp, err := ld.load(pattern)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", pattern, err)
+			continue
+		}
+		pkg := &checker.Package{
+			Path:  pattern,
+			Fset:  fset,
+			Files: fp.files,
+			Types: fp.types,
+			Info:  fp.info,
+		}
+		diags, err := checker.Run([]*analysis.Analyzer{a}, []*checker.Package{pkg})
+		if err != nil {
+			t.Errorf("running %s on fixture %q: %v", a.Name, pattern, err)
+			continue
+		}
+		checkExpectations(t, fset, pattern, fp.files, diags)
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	src  string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+	std  types.Importer
+}
+
+// Import resolves a fixture import: testdata/src first, standard library
+// second. Satisfies types.Importer so the loader can hand itself to the
+// type checker.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(ld.src, path)); err == nil && fi.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := ld.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := checker.NewInfo()
+	var terrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("type errors: %v", terrs)
+	}
+	fp := &fixturePkg{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = fp
+	return fp, nil
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pattern string, files []*ast.File, diags []checker.Diagnostic) {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != "want" && !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") && !strings.HasPrefix(text, "want`") && !strings.HasPrefix(text, `want"`) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				if rest == "" {
+					t.Errorf("%s: want comment with no pattern", pos)
+					continue
+				}
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q: %v", pos, rest, err)
+						break
+					}
+					lit, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q: %v", pos, q, err)
+						break
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: want pattern does not compile: %v", pos, err)
+						break
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.used && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s (fixture %q): unexpected diagnostic: [%s] %s", d.Position, pattern, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d (fixture %q): no diagnostic matching %q", w.file, w.line, pattern, w.re)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package anglenorm flags hand-rolled angle wraparound arithmetic outside
+// the blessed normalization helpers (internal/geom/angle.go and the
+// skyline algorithms in internal/skyline).
+//
+// Skyline breakpoints live on the circle; the repository's invariant is
+// that every angle entering a comparison has been mapped to [0, 2π) by
+// geom.NormalizeAngle (or is compared through geom.AngleEq / AngleInSpan /
+// CCWDelta, which normalize internally). Ad-hoc `θ ± 2π` corrections and
+// `math.Mod(θ, 2π)` reimplement that mapping with different edge behavior
+// — math.Mod keeps the sign of the dividend, so a tiny negative angle
+// stays negative and misses every [0, 2π) span check.
+//
+// Flagged, outside the blessed packages and _test.go files:
+//
+//   - math.Mod(x, d) where d is a compile-time constant equal to 2π
+//     (math.Mod on a non-angular divisor is fine);
+//   - a comparison whose operand tree adds or subtracts a 2π constant
+//     (`if a+2*math.Pi < b`);
+//   - compound wraparound assignments (`theta += geom.TwoPi`).
+package anglenorm
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+	"repro/internal/analysis/epspolicy"
+)
+
+// SkylinePath is the skyline package, blessed alongside geom: its merge
+// and envelope code manipulates raw breakpoints by construction.
+const SkylinePath = "repro/internal/skyline"
+
+const Name = "anglenorm"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag raw angle wraparound (±2π in comparisons, math.Mod(·, 2π)) outside\n" +
+		"internal/geom and internal/skyline; use geom.NormalizeAngle / AngleEq / CCWDelta",
+	Run: run,
+}
+
+// isTwoPi reports whether e is a compile-time constant within 1e-9 of 2π
+// (covers geom.TwoPi, 2*math.Pi, and spelled-out literals alike).
+func isTwoPi(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(tv.Value)
+	//mldcslint:allow anglenorm the detector itself compares against the 2π constant it searches for
+	return math.Abs(f-2*math.Pi) < 1e-9
+}
+
+// hasWraparound reports whether expr's tree contains an addition or
+// subtraction of a 2π constant.
+func hasWraparound(info *types.Info, expr ast.Expr) (at ast.Expr, found bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.ADD && b.Op != token.SUB) {
+			return true
+		}
+		if isTwoPi(info, b.X) || isTwoPi(info, b.Y) {
+			at, found = b, true
+			return false
+		}
+		return true
+	})
+	return at, found
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	switch pass.Pkg.Path() {
+	case epspolicy.GeomPath, SkylinePath:
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+				if !ok || len(e.Args) != 2 {
+					return true
+				}
+				fn, ok := info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math" || fn.Name() != "Mod" {
+					return true
+				}
+				if !isTwoPi(info, e.Args[1]) {
+					return true
+				}
+				if allowdirective.Allowed(pass.Fset, file, e.Pos(), Name) {
+					return true
+				}
+				pass.ReportRangef(e, "math.Mod(·, 2π) keeps the dividend's sign and leaves negative angles unnormalized; use geom.NormalizeAngle")
+			case *ast.BinaryExpr:
+				if !isComparison(e.Op) {
+					return true
+				}
+				at, found := hasWraparound(info, e)
+				if !found {
+					return true
+				}
+				if allowdirective.Allowed(pass.Fset, file, e.Pos(), Name) {
+					return false
+				}
+				pass.ReportRangef(at, "raw ±2π wraparound inside a comparison; normalize with geom.NormalizeAngle or compare with geom.AngleEq / AngleInSpan / CCWDelta")
+				return false
+			case *ast.AssignStmt:
+				if e.Tok != token.ADD_ASSIGN && e.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(e.Rhs) != 1 || !isTwoPi(info, e.Rhs[0]) {
+					return true
+				}
+				if allowdirective.Allowed(pass.Fset, file, e.Pos(), Name) {
+					return true
+				}
+				pass.ReportRangef(e, "hand-rolled angle wraparound (θ %s 2π); use geom.NormalizeAngle", e.Tok)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

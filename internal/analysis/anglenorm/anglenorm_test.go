@@ -1,0 +1,16 @@
+package anglenorm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/anglenorm"
+)
+
+// TestAngleNorm runs the failing fixture (package a) and both blessed
+// packages (the geom and skyline stubs, which contain the very arithmetic
+// the analyzer forbids elsewhere and must produce no diagnostics).
+func TestAngleNorm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), anglenorm.Analyzer,
+		"a", "repro/internal/geom", "repro/internal/skyline")
+}

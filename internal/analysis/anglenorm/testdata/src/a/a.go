@@ -1,0 +1,52 @@
+// Package a holds the anglenorm fixtures: hand-rolled wraparound the
+// analyzer must flag, and the angular arithmetic it must leave alone.
+package a
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+func badMod(theta float64) float64 {
+	return math.Mod(theta, 2*math.Pi) // want `math\.Mod\(·, 2π\) keeps the dividend's sign`
+}
+
+func badModNamed(theta float64) float64 {
+	return math.Mod(theta, geom.TwoPi) // want `math\.Mod\(·, 2π\)`
+}
+
+func badCompare(a, b float64) bool {
+	return a+2*math.Pi < b // want `raw ±2π wraparound inside a comparison`
+}
+
+func badCompareNamed(a, b float64) bool {
+	return a-geom.TwoPi > b // want `raw ±2π wraparound inside a comparison`
+}
+
+func badFold(theta float64) float64 {
+	if theta < 0 {
+		theta += geom.TwoPi // want `hand-rolled angle wraparound \(θ \+= 2π\)`
+	}
+	return theta
+}
+
+func allowedFold(theta float64) float64 {
+	theta -= 2 * math.Pi //mldcslint:allow anglenorm fixture demonstrating the escape hatch
+	return theta
+}
+
+func okNormalize(theta float64) float64 { return geom.NormalizeAngle(theta) }
+
+// okSample scales a uniform sample to the circle: multiplication is not
+// wraparound.
+func okSample(u float64) float64 { return u * geom.TwoPi }
+
+// okMod has a non-angular divisor.
+func okMod(a, b float64) float64 { return math.Mod(a, b) }
+
+// okHalf compares against π, not 2π, with no ± folding.
+func okHalf(theta float64) bool { return theta < math.Pi }
+
+// okRange compares against 2π without folding — a plain range check.
+func okRange(theta float64) bool { return theta < geom.TwoPi }

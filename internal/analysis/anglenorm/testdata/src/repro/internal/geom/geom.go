@@ -1,0 +1,16 @@
+// Package geom stubs the angle helpers. It is a blessed package: its own
+// wraparound arithmetic (the body of NormalizeAngle) is the
+// implementation the analyzer points everyone else at.
+package geom
+
+import "math"
+
+const TwoPi = 2 * math.Pi
+
+func NormalizeAngle(theta float64) float64 {
+	theta = math.Mod(theta, TwoPi)
+	if theta < 0 {
+		theta += TwoPi
+	}
+	return theta
+}

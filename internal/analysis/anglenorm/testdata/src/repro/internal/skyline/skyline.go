@@ -1,0 +1,13 @@
+// Package skyline stubs the other blessed package: the merge machinery
+// manipulates raw breakpoints by construction, so its wraparound
+// arithmetic is exempt.
+package skyline
+
+import "math"
+
+func fold(theta float64) float64 {
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	return math.Mod(theta, 2*math.Pi)
+}

@@ -1,0 +1,328 @@
+// Package checker is the mldcslint driver: it loads Go packages with the
+// go toolchain (`go list -export`), type-checks the matched packages from
+// source, runs a suite of go/analysis analyzers over them, and collects
+// diagnostics.
+//
+// It deliberately avoids golang.org/x/tools/go/packages (the repository
+// vendors only the small go/analysis core): imports are resolved through
+// compiler export data produced by `go list -export`, which the gc
+// importer in the standard library reads directly. The repository has no
+// external runtime dependencies, so every import is either in-module or
+// in the standard library, and both come back from one `go list -deps`
+// invocation. Analyzers that use facts are not supported — the suite's
+// analyzers are all single-package.
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A Package is a parsed and type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+	Module    *analysis.Module
+	typeErrs  []types.Error
+	parseErrs []error
+}
+
+// Err returns the first load error (parse or type) of the package, or nil.
+func (p *Package) Err() error {
+	if len(p.parseErrs) > 0 {
+		return p.parseErrs[0]
+	}
+	if len(p.typeErrs) > 0 {
+		return p.typeErrs[0]
+	}
+	return nil
+}
+
+// A Diagnostic is an analyzer finding resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// listedPkg mirrors the `go list -json` fields the loader requests.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ Path, GoVersion string }
+	Error      *struct{ Err string }
+}
+
+func goList(extra []string, patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module,Error"}, extra...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewInfo returns a types.Info with all the maps analyzers expect.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+// Load resolves patterns with the go toolchain and returns the matched
+// non-standard-library packages, parsed with comments and type-checked
+// from source. Imports (in-module and standard library alike) are
+// satisfied from the export data `go list -export` produced.
+func Load(patterns []string) ([]*Package, error) {
+	listed, err := goList([]string{"-deps"}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+			exportCache.put(p.ImportPath, p.Export)
+		}
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{Path: lp.ImportPath, Fset: fset, Info: NewInfo()}
+		if lp.Module != nil {
+			pkg.Module = &analysis.Module{Path: lp.Module.Path, GoVersion: lp.Module.GoVersion}
+		}
+		for _, f := range lp.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				pkg.parseErrs = append(pkg.parseErrs, err)
+				continue
+			}
+			pkg.Files = append(pkg.Files, file)
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				var te types.Error
+				if errors.As(err, &te) {
+					pkg.typeErrs = append(pkg.typeErrs, te)
+				}
+			},
+		}
+		pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Run applies each analyzer to each package and returns all diagnostics
+// sorted by position. Packages that failed to load abort the run: a lint
+// verdict on a partially-typed tree is not trustworthy.
+func Run(as []*analysis.Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if err := pkg.Err(); err != nil {
+			return nil, fmt.Errorf("%s: %v", pkg.Path, err)
+		}
+		ds, err := analyzePackage(as, pkg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// analyzePackage runs the analyzers on pkg in Requires order, threading
+// results through ResultOf.
+func analyzePackage(as []*analysis.Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	results := map[*analysis.Analyzer]interface{}{}
+	done := map[*analysis.Analyzer]bool{}
+	var exec func(a *analysis.Analyzer) error
+	exec = func(a *analysis.Analyzer) error {
+		if done[a] {
+			return nil
+		}
+		done[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		ds, res, err := AnalyzeOne(a, pkg, results)
+		if err != nil {
+			return fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
+		}
+		results[a] = res
+		diags = append(diags, ds...)
+		return nil
+	}
+	for _, a := range as {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+// AnalyzeOne applies a single analyzer to a loaded package. resultOf
+// carries the results of previously-run required analyzers (may be nil
+// when the analyzer has no requirements).
+func AnalyzeOne(a *analysis.Analyzer, pkg *Package, resultOf map[*analysis.Analyzer]interface{}) ([]Diagnostic, interface{}, error) {
+	var diags []Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		TypeErrors: pkg.typeErrs,
+		Module:     pkg.Module,
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		ReadFile:   os.ReadFile,
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		},
+		// The suite's analyzers are single-package; facts are inert.
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = resultOf[req]
+	}
+	res, err := a.Run(pass)
+	return diags, res, err
+}
+
+// exportMemo memoizes `go list -export` lookups so the analysistest
+// harness does not shell out once per fixture import.
+type exportMemo struct {
+	sync.Mutex
+	m map[string]string
+}
+
+var exportCache = exportMemo{m: map[string]string{}}
+
+func (c *exportMemo) put(path, file string) {
+	c.Lock()
+	defer c.Unlock()
+	c.m[path] = file
+}
+
+func (c *exportMemo) get(path string) (string, bool) {
+	c.Lock()
+	defer c.Unlock()
+	f, ok := c.m[path]
+	return f, ok
+}
+
+// ExportFile returns the compiler export data file for a standard-library
+// (or otherwise toolchain-resolvable, non-module) import path, building
+// it if necessary. Used by the analysistest harness to satisfy fixture
+// imports such as "math" or "fmt".
+func ExportFile(path string) (string, error) {
+	if f, ok := exportCache.get(path); ok {
+		return f, nil
+	}
+	pkgs, err := goList(nil, path)
+	if err != nil {
+		return "", err
+	}
+	if len(pkgs) != 1 || pkgs[0].Export == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	if !pkgs[0].Standard && !strings.HasPrefix(path, "repro/") {
+		return "", fmt.Errorf("%q is neither standard library nor in-module", path)
+	}
+	exportCache.put(path, pkgs[0].Export)
+	return pkgs[0].Export, nil
+}

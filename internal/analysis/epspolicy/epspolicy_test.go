@@ -1,0 +1,18 @@
+package epspolicy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epspolicy"
+)
+
+// TestEpsPolicy runs the failing fixture (package a, including the
+// multi-line and propagated comparisons the old grep missed), the passing
+// fixture (package b), and the exempt predicates layer itself (the
+// repro/internal/geom stub, which is full of raw comparisons and must
+// produce no diagnostics).
+func TestEpsPolicy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epspolicy.Analyzer,
+		"a", "b", "repro/internal/geom")
+}

@@ -1,0 +1,15 @@
+// Package b is the epspolicy passing fixture: tolerance-correct code the
+// analyzer must leave alone.
+package b
+
+import "repro/internal/geom"
+
+func link(d, r float64) bool { return geom.LinkWithin(d, r) }
+
+func tie(a, b float64) bool { return geom.RhoCmp(a, b) == 0 }
+
+// jitter passes Eps as a magnitude — mentioning the constant outside a
+// comparison is allowed (widening a scan window, perturbing an input).
+func jitter(x float64) float64 { return x + geom.Eps }
+
+func steps(n, numSteps int) bool { return n < numSteps } // "steps" is not an epsilon name

@@ -1,0 +1,73 @@
+// Package floatcmp flags exact equality comparisons (== and !=) between
+// floating-point expressions outside internal/geom and _test.go files.
+//
+// The repository's numeric discipline (docs/NUMERICS.md) routes every
+// tolerance-bearing comparison through internal/geom; an exact float
+// equality elsewhere is either a bug (two independently-rounded values
+// will rarely be bit-identical) or an intentional sentinel check, which
+// must be annotated:
+//
+//	if rho == 0 { //mldcslint:allow floatcmp rho==0 is the unset sentinel
+//
+// Comparisons where both operands are compile-time constants are exact by
+// definition and are not flagged.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+	"repro/internal/analysis/epspolicy"
+)
+
+const Name = "floatcmp"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag exact ==/!= between floating-point expressions outside internal/geom;\n" +
+		"use geom predicates (LengthEq, RhoCmp, AngleEq) or annotate //mldcslint:allow floatcmp <why>",
+	Run: run,
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == epspolicy.GeomPath {
+		return nil, nil // geom implements the tolerant comparisons themselves
+	}
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			tvx := pass.TypesInfo.Types[e.X]
+			tvy := pass.TypesInfo.Types[e.Y]
+			if tvx.Value != nil && tvy.Value != nil {
+				return true // constant folding is exact
+			}
+			if !isFloat(tvx.Type) && !isFloat(tvy.Type) {
+				return true
+			}
+			if allowdirective.Allowed(pass.Fset, file, e.Pos(), Name) {
+				return true
+			}
+			pass.ReportRangef(e, "exact floating-point %s; use a geom predicate (LengthEq, RhoCmp, AngleEq) or annotate //mldcslint:allow floatcmp <why> — docs/NUMERICS.md", e.Op)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatcmp"
+)
+
+// TestFloatCmp runs the mixed fixture (package a: flagged equalities, an
+// allowed sentinel, an exempt _test.go file) and the exempt predicates
+// layer stub.
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floatcmp.Analyzer,
+		"a", "repro/internal/geom")
+}

@@ -1,0 +1,37 @@
+// Package a holds the floatcmp fixtures: exact float equality the
+// analyzer must flag, plus the sentinel/constant/integer cases it must
+// leave alone.
+package a
+
+func bad(x, y float64) bool {
+	return x == y // want `exact floating-point ==`
+}
+
+func bad32(x, y float32) bool {
+	return x != y // want `exact floating-point !=`
+}
+
+type radius float64
+
+func badNamed(a, b radius) bool {
+	return a == b // want `exact floating-point ==`
+}
+
+// badMixed compares a variable to an untyped float constant — still an
+// exact comparison of a runtime value.
+func badMixed(x float64) bool {
+	return x == 0.5 // want `exact floating-point ==`
+}
+
+func sentinel(rho float64) bool {
+	return rho == 0 //mldcslint:allow floatcmp zero is the unset-sentinel in this fixture
+}
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+
+const c1, c2 = 1.5, 2.5
+
+// constFold compares two compile-time constants: exact by definition.
+var constFold = c1 == c2

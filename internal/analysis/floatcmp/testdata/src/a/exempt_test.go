@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: tests assert exact outcomes on purpose
+// (byte-identity regressions, golden values).
+func testOnlyEquality(x, y float64) bool {
+	return x == y
+}

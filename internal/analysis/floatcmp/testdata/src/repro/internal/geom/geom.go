@@ -1,0 +1,5 @@
+// Package geom stubs the predicates layer: it implements the tolerant
+// comparisons, so exact float comparisons here are exempt.
+package geom
+
+func exactTie(a, b float64) bool { return a == b }

@@ -1,0 +1,15 @@
+package invariantcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/invariantcheck"
+)
+
+// TestInvariantCheck runs the fixture package a: dropped skyline errors
+// (flagged, including the tuple-blank and bare-statement forms), handled
+// errors, an allow directive, and an exempt _test.go helper.
+func TestInvariantCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), invariantcheck.Analyzer, "a")
+}

@@ -1,0 +1,10 @@
+package a
+
+import "repro/internal/skyline"
+
+// Test files are exempt: test helpers drop errors on inputs constructed
+// to be valid, and the assertion lives elsewhere.
+func testHelper(disks []float64) skyline.Skyline {
+	s, _ := skyline.Compute(disks)
+	return s
+}

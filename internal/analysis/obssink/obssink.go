@@ -1,0 +1,97 @@
+// Package obssink forbids ad-hoc terminal output from library packages.
+//
+// The engine and broadcast event streams emitted through internal/obs are
+// the single source of truth for what the system did; a stray
+// fmt.Println deep in a library package bypasses that sink, corrupts
+// machine-read JSONL output (cmd/mldcsim -events writes to stdout), and
+// cannot be redirected by the caller. Library packages — everything under
+// repro/internal/ except internal/viz, which renders human-facing SVG/PPM
+// output by design — must either emit obs events/metrics or write to an
+// io.Writer supplied by the caller.
+//
+// Flagged in library packages, outside _test.go files:
+//
+//   - fmt.Print / fmt.Printf / fmt.Println (implicit stdout);
+//   - any package-level function of log (log.Printf, log.Fatal, ...),
+//     which writes to the process-global stderr logger;
+//   - any mention of os.Stdout or os.Stderr.
+//
+// Binaries (cmd/...), examples, and the root facade package are exempt:
+// terminal output is their job.
+package obssink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+)
+
+// VizPath is the one internal package allowed to produce direct output.
+const VizPath = "repro/internal/viz"
+
+const Name = "obssink"
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "forbid fmt.Print*/log.*/os.Stdout writes in library packages (internal/*\n" +
+		"except viz); instrument via internal/obs or take an io.Writer",
+	Run: run,
+}
+
+func libraryPackage(path string) bool {
+	if !strings.HasPrefix(path, "repro/internal/") {
+		return false
+	}
+	return path != VizPath && !strings.HasPrefix(path, VizPath+"/")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !libraryPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var msg string
+			switch obj.Pkg().Path() {
+			case "fmt":
+				switch obj.Name() {
+				case "Print", "Printf", "Println":
+					msg = "fmt." + obj.Name() + " writes to stdout from a library package; emit an internal/obs event/metric or write to an injected io.Writer"
+				}
+			case "log":
+				if _, isFn := obj.(*types.Func); isFn && obj.Parent() == obj.Pkg().Scope() {
+					msg = "log." + obj.Name() + " writes to the process-global logger from a library package; emit through internal/obs instead"
+				}
+			case "os":
+				if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+					msg = "os." + obj.Name() + " referenced in a library package; accept an io.Writer from the caller or emit through internal/obs"
+				}
+			}
+			if msg == "" {
+				return true
+			}
+			if allowdirective.Allowed(pass.Fset, file, sel.Pos(), Name) {
+				return true
+			}
+			pass.ReportRangef(sel, "%s — docs/OBSERVABILITY.md", msg)
+			return true
+		})
+	}
+	return nil, nil
+}

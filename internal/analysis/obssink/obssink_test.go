@@ -1,0 +1,16 @@
+package obssink_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obssink"
+)
+
+// TestObsSink runs the failing library fixture (repro/internal/badlib)
+// and the two exempt ones: the viz package and a non-internal package,
+// both of which print freely and must produce no diagnostics.
+func TestObsSink(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obssink.Analyzer,
+		"repro/internal/badlib", "repro/internal/viz", "a")
+}

@@ -1,0 +1,9 @@
+// Package a sits outside repro/internal/: binaries, examples, and the
+// facade may print — that is their job.
+package a
+
+import "fmt"
+
+func Main() {
+	fmt.Println("binaries may print")
+}

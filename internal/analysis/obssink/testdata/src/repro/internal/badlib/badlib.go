@@ -1,0 +1,35 @@
+// Package badlib is an obssink failing fixture: a library package that
+// writes to the terminal instead of instrumenting through internal/obs.
+package badlib
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func Noisy(n int) {
+	fmt.Println("computed", n)          // want `fmt\.Println writes to stdout from a library package`
+	fmt.Printf("n=%d\n", n)             // want `fmt\.Printf writes to stdout`
+	log.Printf("n=%d", n)               // want `log\.Printf writes to the process-global logger`
+	fmt.Fprintf(os.Stdout, "n=%d\n", n) // want `os\.Stdout referenced in a library package`
+	os.Stderr.WriteString("x")          // want `os\.Stderr referenced in a library package`
+}
+
+func Fatal(err error) {
+	log.Fatal(err) // want `log\.Fatal writes to the process-global logger`
+}
+
+// Quiet writes to a caller-injected writer: allowed.
+func Quiet(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// Allowed demonstrates the escape hatch.
+func Allowed() {
+	fmt.Println("progress") //mldcslint:allow obssink fixture demonstrating the escape hatch
+}
+
+// Format uses fmt without writing anywhere: allowed.
+func Format(n int) string { return fmt.Sprintf("n=%d", n) }

@@ -1,0 +1,13 @@
+// Package viz stubs the one internal package allowed to produce direct
+// output: rendering human-facing artifacts is its job.
+package viz
+
+import (
+	"fmt"
+	"os"
+)
+
+func Render() {
+	fmt.Println("<svg/>")
+	fmt.Fprintln(os.Stderr, "rendered")
+}

@@ -1,0 +1,35 @@
+// Package analysis assembles the mldcslint analyzer suite: the
+// project-specific go/analysis analyzers that machine-check the
+// repository's geometry, numerics, and observability invariants
+// (docs/STATIC_ANALYSIS.md).
+//
+// The suite is run by cmd/mldcslint (via `make lint` and CI). Individual
+// analyzers live in subpackages so each can be tested in isolation with
+// analysistest-style fixtures.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/anglenorm"
+	"repro/internal/analysis/epspolicy"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/invariantcheck"
+	"repro/internal/analysis/obssink"
+)
+
+// All returns the full mldcslint suite, validated against the go/analysis
+// well-formedness rules (acyclic requirements, distinct names).
+func All() []*analysis.Analyzer {
+	as := []*analysis.Analyzer{
+		anglenorm.Analyzer,
+		epspolicy.Analyzer,
+		floatcmp.Analyzer,
+		invariantcheck.Analyzer,
+		obssink.Analyzer,
+	}
+	if err := analysis.Validate(as); err != nil {
+		panic(err) // a malformed suite is a programming error, not an input error
+	}
+	return as
+}

@@ -38,6 +38,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 		if !(n.Radius > 0) {
 			return nil, fmt.Errorf("engine: node %d has non-positive radius %g", i, n.Radius)
 		}
+		//mldcslint:allow floatcmp bitwise change detection: any bit difference marks the node dirty, which is always safe
 		if n.Pos != e.nodes[i].Pos || n.Radius != e.nodes[i].Radius {
 			moved = append(moved, i)
 		}

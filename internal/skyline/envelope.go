@@ -71,6 +71,7 @@ func Rho(disks []geom.Disk, theta float64) (float64, int) {
 // algorithm in this package producing the same skyline on tied inputs
 // (e.g. duplicate disks).
 func betterTie(disks []geom.Disk, i, j int) bool {
+	//mldcslint:allow floatcmp exact compare is deliberate: the tie-break needs a deterministic strict weak order, not a tolerance
 	if disks[i].R != disks[j].R {
 		return disks[i].R > disks[j].R
 	}
