@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench cover fuzz fuzz-smoke lint lint-eps experiments examples clean
+.PHONY: all build test race bench bench-skyline bench-smoke cover fuzz fuzz-smoke lint lint-eps experiments examples clean
 
 all: build lint test
 
@@ -29,6 +29,19 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 	ENGINE_BENCH_OUT=$(CURDIR)/BENCH_engine.json go test -run=TestEngineBenchReport -count=1 ./internal/engine/
+
+# Skyline kernel microbenchmarks + the machine-readable BENCH_skyline.json
+# report (ns/op, allocs/op, mean arc count per input size).
+bench-skyline:
+	go test -bench='^(BenchmarkCompute|BenchmarkComputeInto)$$' -benchmem ./internal/skyline/
+	SKYLINE_BENCH_OUT=$(CURDIR)/BENCH_skyline.json go test -run=TestSkylineBenchReport -count=1 -v ./internal/skyline/
+
+# CI smoke: every skyline and engine microbenchmark compiles and runs once
+# (-benchtime=1x; build + sanity, not timing), and the allocation
+# regression tests hold under the race detector.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x ./internal/skyline/ ./internal/engine/
+	go test -race -run='Allocs' -count=1 ./internal/skyline/ ./internal/engine/
 
 cover:
 	go test -coverprofile=cover.out ./internal/... .

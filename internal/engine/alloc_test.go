@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Steady-state per-node recompute — same geometry, warm worker scratch —
+// must not allocate: the skyline runs in the worker's skyline.Scratch, the
+// canonical ordering uses the in-scratch merge sort, and unchanged outputs
+// are compare-and-kept instead of re-copied. Exercised with the cache off
+// (every node recomputes its skyline) and on (every node replays a cached
+// cover), which together cover both branches of computeNode.
+func TestComputeNodeSteadyStateAllocs(t *testing.T) {
+	nodes, _, err := benchDeployment(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cache := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cache=%v", cache), func(t *testing.T) {
+			e := New(Config{Workers: 1, Cache: cache})
+			if _, err := e.Compute(nodes); err != nil {
+				t.Fatal(err)
+			}
+			sc := &scratch{}
+			// Warm-up: grow this scratch's buffers (and, with the cache on,
+			// ensure every fingerprint is present) before counting.
+			for u := range nodes {
+				if err := e.computeNode(u, sc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var nodeErr error
+			allocs := testing.AllocsPerRun(5, func() {
+				for u := range nodes {
+					if err := e.computeNode(u, sc); err != nil {
+						nodeErr = err
+						return
+					}
+				}
+			})
+			if nodeErr != nil {
+				t.Fatal(nodeErr)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state recompute of %d nodes allocated %.1f objects/run, want 0",
+					len(nodes), allocs)
+			}
+		})
+	}
+}
+
+// loadEngineFuzzCorpus decodes the curated seed files under
+// testdata/fuzz/FuzzEngineVsSequential into raw payloads.
+func loadEngineFuzzCorpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzEngineVsSequential")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus %s: %v", dir, err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, ent := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "[]byte(") {
+				continue
+			}
+			quoted := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			payload, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s: unquoting corpus payload: %v", ent.Name(), err)
+			}
+			out[ent.Name()] = []byte(payload)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no corpus payloads under %s", dir)
+	}
+	return out
+}
+
+// TestEngineDifferentialFuzzSeeds sweeps the curated degenerate topologies
+// (boundary rings, exact-radius links, co-located clusters) through the
+// full workers×cache matrix against the sequential pipeline — the engine
+// counterpart of the skyline merge-equivalence suite.
+func TestEngineDifferentialFuzzSeeds(t *testing.T) {
+	for name, data := range loadEngineFuzzCorpus(t) {
+		nodes := nodesFromBytes(data)
+		fwd, hubIn, g := sequentialForwarding(t, nodes)
+		for _, cfg := range engineVariants() {
+			res, err := New(cfg).Compute(nodes)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			label := fmt.Sprintf("%s workers=%d cache=%v", name, cfg.Workers, cfg.Cache)
+			assertIdentical(t, label, res, fwd, hubIn, g)
+		}
+	}
+}

@@ -28,6 +28,21 @@ import (
 // cacheShardCount must be a power of two (the shard index is a mask).
 const cacheShardCount = 16
 
+// Adaptive bypass: a worker that has probed cacheBypassWindow times in
+// one pass with a hit rate below 1/cacheBypassRatio stops consulting the
+// cache for the rest of that pass. A hit saves a full skyline solve
+// (tens of µs) while a miss costs a fingerprint, a probe, and a map
+// insert (~1 µs), so the break-even hit rate is a few percent; below
+// 1/16 the cache is pure overhead — the regime uniform random float64
+// deployments live in, where fingerprints essentially never collide.
+// The decision is per worker per pass (scratches are fresh each pass),
+// so structured workloads — and later passes over the same cache — are
+// unaffected: their windows see near-100% hits and never trip it.
+const (
+	cacheBypassWindow = 1024
+	cacheBypassRatio  = 16
+)
+
 // skyCache is a sharded fingerprint → cover map. Shards cut lock
 // contention between shard workers; lookups take only a read lock.
 // All methods are safe on a nil receiver (cache disabled).
@@ -75,21 +90,37 @@ func appendFingerprint(key []byte, hubR float64, tuples []nbTuple) []byte {
 	return key
 }
 
-// fnv1a hashes the key for shard selection (FNV-1a, 32-bit).
+// fnv1a hashes the key for shard selection, folding 8 bytes per step
+// (FNV-1a over little-endian words; fingerprints are always a multiple of
+// 8 bytes). Only the shard choice consumes the hash — key equality goes
+// through the map — so word granularity trades nothing for an 8× shorter
+// loop on the per-node path.
 func fnv1a(key []byte) uint32 {
-	h := uint32(2166136261)
-	for _, b := range key {
-		h ^= uint32(b)
-		h *= 16777619
+	h := uint64(14695981039346656037)
+	for len(key) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(key)) * 1099511628211
+		key = key[8:]
 	}
-	return h
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return uint32(h ^ h>>32)
+}
+
+// shard selects the shard for a fingerprint. computeNode hashes once and
+// reuses the shard for the get and, on a miss, the put.
+func (c *skyCache) shard(key []byte) *cacheShard {
+	return &c.shards[fnv1a(key)&(cacheShardCount-1)]
 }
 
 // get looks the fingerprint up. The map probe converts key with
 // string(key), which Go compiles without allocating — the hit path costs
 // one hash, one read lock, and one probe.
 func (c *skyCache) get(key []byte) (cacheEntry, bool) {
-	s := &c.shards[fnv1a(key)&(cacheShardCount-1)]
+	return c.shard(key).get(key)
+}
+
+func (s *cacheShard) get(key []byte) (cacheEntry, bool) {
 	s.mu.RLock()
 	e, ok := s.m[string(key)]
 	s.mu.RUnlock()
@@ -99,7 +130,10 @@ func (c *skyCache) get(key []byte) (cacheEntry, bool) {
 // put stores the entry under a copy of key, keeping the first writer's
 // value on a race (both computed the same cover from the same bits).
 func (c *skyCache) put(key []byte, e cacheEntry) {
-	s := &c.shards[fnv1a(key)&(cacheShardCount-1)]
+	c.shard(key).put(key, e)
+}
+
+func (s *cacheShard) put(key []byte, e cacheEntry) {
 	s.mu.Lock()
 	if _, ok := s.m[string(key)]; !ok {
 		s.m[string(key)] = e

@@ -30,7 +30,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	if len(nodes) != len(e.nodes) {
 		return nil, fmt.Errorf("engine: Update with %d nodes, engine has %d", len(nodes), len(e.nodes))
 	}
-	var moved []int
+	moved := e.updMoved[:0]
 	for i, n := range nodes {
 		if n.ID != i {
 			return nil, fmt.Errorf("engine: node at position %d has ID %d; IDs must be dense", i, n.ID)
@@ -43,12 +43,17 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 			moved = append(moved, i)
 		}
 	}
+	e.updMoved = moved
 
 	// Dirty = every moved node, its old neighbors (who may have lost it or
 	// see it at a new relative position), and — after the grid reflects the
 	// moves — its new neighbors (who may have gained it). Everyone else's
 	// local set is bitwise unchanged.
-	dirty := make([]bool, len(nodes))
+	if cap(e.updDirty) < len(nodes) {
+		e.updDirty = make([]bool, len(nodes))
+	}
+	dirty := e.updDirty[:len(nodes)]
+	clear(dirty)
 	for _, u := range moved {
 		dirty[u] = true
 		for _, v := range e.nbrs[u] {
@@ -70,12 +75,13 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 			}
 		})
 	}
-	var list []int
+	list := e.updList[:0]
 	for u, d := range dirty {
 		if d {
 			list = append(list, u)
 		}
 	}
+	e.updList = list
 
 	hits0, misses0 := e.cache.counts()
 	e.fallbacks.Store(0)

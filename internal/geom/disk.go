@@ -80,7 +80,15 @@ func (d Disk) PointAt(theta float64) Point {
 // when the ray hits the circle and NaN otherwise; the skyline code never
 // relies on that case, but the geometry tests exercise it.
 func (d Disk) RayDist(theta float64) float64 {
-	e := Unit(theta)
+	return d.RayDistDir(Unit(theta))
+}
+
+// RayDistDir is RayDist along a caller-supplied unit direction
+// e = (cos θ, sin θ). Hot loops that evaluate several disks at the same
+// angle (the skyline's winner and envelope scans) compute the direction
+// once and share it; RayDistDir(Unit(theta)) is bit-identical to
+// RayDist(theta).
+func (d Disk) RayDistDir(e Point) float64 {
 	b := d.C.Dot(e)
 	disc := b*b + d.R*d.R - d.C.Norm2()
 	if disc < 0 {

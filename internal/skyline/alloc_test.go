@@ -1,0 +1,84 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state ComputeInto — a caller-held Scratch and a reused result
+// slice — must be allocation-free once the buffers are warm. This is the
+// contract the whole-network engine's per-node loop relies on; any future
+// per-merge garbage (the sort+dedupe step this PR removed allocated on
+// every merge) fails here immediately.
+func TestComputeIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	var sc Scratch
+	var dst Skyline
+	for _, n := range []int{3, 17, 64, 200} {
+		disks := randomLocalSet(rng, n)
+		var err error
+		// Warm-up: grow the scratch and the destination to steady state.
+		for i := 0; i < 3; i++ {
+			if dst, err = sc.ComputeInto(dst, disks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			dst, err = sc.ComputeInto(dst, disks)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs != 0 {
+			t.Errorf("n=%d: steady-state ComputeInto allocated %.1f objects/run, want 0", n, allocs)
+		}
+	}
+}
+
+// Compute without a caller-held Scratch borrows one from the pool, so its
+// amortized cost is O(1) allocations — the returned skyline — independent
+// of input size, not the O(n log n) buffer churn of the old merge.
+func TestComputeAmortizedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes Get/Put under the race detector; pool amortization is unmeasurable")
+	}
+	rng := rand.New(rand.NewSource(602))
+	disks := randomLocalSet(rng, 128)
+	var err error
+	for i := 0; i < 3; i++ {
+		if _, err = Compute(disks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, err = Compute(disks)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The result slice plus pool slack; the old pipeline measured in the
+	// hundreds here.
+	if allocs > 4 {
+		t.Errorf("Compute allocated %.1f objects/run, want O(1) (≤ 4)", allocs)
+	}
+}
+
+// Merge on caller-supplied skylines must likewise cost only its result.
+func TestMergeAmortizedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes Get/Put under the race detector; pool amortization is unmeasurable")
+	}
+	rng := rand.New(rand.NewSource(603))
+	disks := randomLocalSet(rng, 64)
+	sa := computeRange(disks, 0, 32, nil, 1)
+	sb := computeRange(disks, 32, 64, nil, 1)
+	for i := 0; i < 3; i++ {
+		Merge(disks, sa, sb)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		Merge(disks, sa, sb)
+	})
+	if allocs > 2 {
+		t.Errorf("Merge allocated %.1f objects/run, want O(1) (≤ 2)", allocs)
+	}
+}

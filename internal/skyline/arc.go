@@ -99,16 +99,32 @@ func (s Skyline) DiskAt(theta float64) int { return s[s.At(theta)].Disk }
 // contribute at least one arc. By Theorem 3 this is the minimum local disk
 // cover set of the input.
 func (s Skyline) Set() []int {
-	seen := make(map[int]bool, len(s))
-	var out []int
-	for _, a := range s {
-		if !seen[a.Disk] {
-			seen[a.Disk] = true
-			out = append(out, a.Disk)
+	return s.AppendSet(nil)
+}
+
+// AppendSet appends the skyline set (see Set) to dst[:0] and returns it,
+// letting hot-path callers reuse a buffer instead of allocating. A skyline
+// lists each contributing disk in at most a handful of runs, so collecting
+// the run heads and sort+dedup-ing them stays cheap and allocation-free
+// (sort.Ints on an int slice does not allocate).
+func (s Skyline) AppendSet(dst []int) []int {
+	out := dst[:0]
+	for i, a := range s {
+		if i > 0 && s[i-1].Disk == a.Disk {
+			continue
 		}
+		out = append(out, a.Disk)
 	}
 	sort.Ints(out)
-	return out
+	w := 0
+	for i, d := range out {
+		if i > 0 && out[w-1] == d {
+			continue
+		}
+		out[w] = d
+		w++
+	}
+	return out[:w]
 }
 
 // ArcCount returns the number of arcs counting an arc split at the positive

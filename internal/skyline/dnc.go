@@ -1,8 +1,6 @@
 package skyline
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 )
 
@@ -12,42 +10,23 @@ import (
 // the ≤ 2n arc bound of Lemma 8 the merge is linear, so the whole
 // computation takes O(n log n) time — optimal (Theorem 9).
 //
+// Compute borrows a pooled Scratch, so its own allocation cost is O(1)
+// amortized: the returned skyline. Callers on a hot loop should hold a
+// Scratch and use ComputeInto instead, which is allocation-free once
+// warm.
+//
 // The disks must all contain the origin (the hub's frame); otherwise
 // ErrNotLocalDiskSet is returned.
 func Compute(disks []geom.Disk) (Skyline, error) {
-	if err := checkLocal(disks); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	view, err := sc.view(disks)
+	if err != nil {
 		return nil, err
 	}
-	idx := make([]int, len(disks))
-	for i := range idx {
-		idx[i] = i
-	}
-	m := skyInstr.Load()
-	if m == nil {
-		return compute(disks, idx, nil, 1), nil
-	}
-	m.computes.Inc()
-	stop := m.computeSeconds.Start()
-	sl := compute(disks, idx, m, 1)
-	stop()
-	m.recordCompute(len(sl), len(disks))
-	return sl, nil
-}
-
-// compute is the recursive core, operating on a window of disk indices.
-// m (possibly nil) is the installed instrumentation, loaded once per
-// Compute; depth is the current recursion level, recorded at the leaves.
-func compute(disks []geom.Disk, idx []int, m *skyMetrics, depth int) Skyline {
-	if len(idx) == 1 {
-		if m != nil {
-			m.depth.SetMax(float64(depth))
-		}
-		return single(idx[0])
-	}
-	mid := len(idx) / 2
-	left := compute(disks, idx[:mid], m, depth+1)
-	right := compute(disks, idx[mid:], m, depth+1)
-	return merge(disks, left, right, true, m)
+	out := make(Skyline, len(view))
+	copy(out, view)
+	return out, nil
 }
 
 // ComputeNoCombine is Compute with Step 3 of Merge (re-combining adjacent
@@ -60,19 +39,20 @@ func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
 	if err := checkLocal(disks); err != nil {
 		return nil, err
 	}
-	idx := make([]int, len(disks))
-	for i := range idx {
-		idx[i] = i
-	}
-	var rec func(idx []int) Skyline
-	rec = func(idx []int) Skyline {
-		if len(idx) == 1 {
-			return single(idx[0])
+	sc := getScratch()
+	defer putScratch(sc)
+	var rec func(lo, hi int) Skyline
+	rec = func(lo, hi int) Skyline {
+		if hi-lo == 1 {
+			return single(lo)
 		}
-		mid := len(idx) / 2
-		return mergeNoCombine(disks, rec(idx[:mid]), rec(idx[mid:]))
+		mid := lo + (hi-lo)/2
+		// Children complete before the parent merge starts, so the shared
+		// scratch's breakpoint buffer is free; each node's output is a
+		// fresh slice because both children stay live during the merge.
+		return mergeInto(nil, sc, disks, rec(lo, mid), rec(mid, hi), false, nil)
 	}
-	return rec(idx), nil
+	return rec(0, len(disks)), nil
 }
 
 // Merge combines two skylines over the same disk slice into the skyline of
@@ -86,41 +66,68 @@ func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
 //     and picking the outer arc on each piece.
 //  3. Re-combine adjacent arcs contributed by the same disk.
 //
+// Step 1 is a single linear two-pointer pass over the two already-sorted
+// arc lists (Lemma 8's precondition for the linear Merge behind
+// Theorem 9); no sorting happens anywhere on this path.
+//
 // Both inputs must be valid skylines (contiguous over [0, 2π)).
 func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
-	return merge(disks, s1, s2, true, skyInstr.Load())
+	sc := getScratch()
+	out := mergeInto(sc.out[:0], sc, disks, s1, s2, true, skyInstr.Load())
+	sc.out = out
+	owned := make(Skyline, len(out))
+	copy(owned, out)
+	putScratch(sc)
+	return owned
 }
 
-// mergeNoCombine merges without coalescing same-disk neighbors, for the A1
-// ablation (see ComputeNoCombine). Ablations are never instrumented.
-func mergeNoCombine(disks []geom.Disk, s1, s2 Skyline) Skyline {
-	return merge(disks, s1, s2, false, nil)
-}
-
-func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Skyline {
-	// Step 1: merged breakpoint sequence.
-	bps := make([]float64, 0, len(s1)+len(s2)+2)
-	for _, a := range s1 {
-		bps = append(bps, a.Start)
+// mergeInto merges s1 and s2 into dst[:0] and returns it. dst must not
+// alias s1, s2, or sc's internal buffers; sc supplies the breakpoint
+// scratch. With coalesce false, Step 3 is skipped (the A1 ablation, never
+// instrumented).
+func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Skyline {
+	// Step 1: merged breakpoint sequence. Both inputs carry their arcs in
+	// increasing angle order, so one two-pointer pass yields the sorted
+	// union of their start angles, deduplicated within geom.AngleEps
+	// against the last kept breakpoint — exactly the sequence the former
+	// sort+dedupe produced, in O(|s1|+|s2|) with no allocation.
+	bps := sc.bps[:0]
+	i, j := 0, 0
+	for i < len(s1) || j < len(s2) {
+		var v float64
+		if j >= len(s2) || (i < len(s1) && s1[i].Start <= s2[j].Start) {
+			v = s1[i].Start
+			i++
+		} else {
+			v = s2[j].Start
+			j++
+		}
+		if len(bps) == 0 || !geom.AngleSliver(bps[len(bps)-1], v) {
+			bps = append(bps, v)
+		}
 	}
-	for _, a := range s2 {
-		bps = append(bps, a.Start)
+	// 2π sentinel, deduplicated like any other breakpoint.
+	if len(bps) == 0 || !geom.AngleSliver(bps[len(bps)-1], geom.TwoPi) {
+		bps = append(bps, geom.TwoPi)
 	}
-	bps = append(bps, geom.TwoPi)
-	sort.Float64s(bps)
-	bps = dedupeAngles(bps)
-	if len(bps) == 0 || !geom.AngleSliver(0, bps[0]) {
-		bps = append([]float64{0}, bps...)
+	// Anchor the sequence at exactly 0: snap a first breakpoint within
+	// AngleEps of 0, otherwise shift right and insert (valid inputs start
+	// at 0, so the shift is a theoretical branch, not a copy per merge).
+	if !geom.AngleSliver(0, bps[0]) {
+		bps = append(bps, 0)
+		copy(bps[1:], bps)
+		bps[0] = 0
 	} else {
 		bps[0] = 0
 	}
 	bps[len(bps)-1] = geom.TwoPi
+	sc.bps = bps
 
 	if ins != nil {
 		ins.merges.Inc()
 		ins.breakpoints.Add(int64(len(bps)))
 	}
-	out := make(Skyline, 0, len(s1)+len(s2))
+	out := dst[:0]
 	i1, i2 := 0, 0
 	for k := 0; k+1 < len(bps); k++ {
 		a, b := bps[k], bps[k+1]
@@ -140,7 +147,7 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Sk
 		// Degenerate: all spans were slivers. Fall back to whichever disk
 		// wins at an arbitrary angle.
 		win := winner(disks, s1[0].Disk, s2[0].Disk, 1.0)
-		return single(win)
+		return append(out, Arc{Start: 0, End: geom.TwoPi, Disk: win})
 	}
 	out[0].Start = 0
 	out[len(out)-1].End = geom.TwoPi
@@ -148,8 +155,43 @@ func merge(disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Sk
 	if !coalesce {
 		return out
 	}
-	// Step 3: coalesce same-disk neighbors and drop slivers.
-	return out.Combine()
+	// Step 3: coalesce same-disk neighbors and drop slivers, in place.
+	return combineInPlace(out)
+}
+
+// combineInPlace is Skyline.Combine (Step 3 of the paper's Merge)
+// performed in place: the write cursor never passes the read cursor, so
+// the buffer is rewritten without a copy. The returned slice is a prefix
+// of s with identical values to s.Combine().
+func combineInPlace(s Skyline) Skyline {
+	w := 0
+	for _, a := range s {
+		if geom.AngleSliver(a.Start, a.End) {
+			// Sliver: extend the previous arc over it instead of keeping it.
+			if w > 0 {
+				s[w-1].End = a.End
+			}
+			continue
+		}
+		if w > 0 && s[w-1].Disk == a.Disk {
+			s[w-1].End = a.End
+			continue
+		}
+		s[w] = a
+		w++
+	}
+	if w == 0 && len(s) > 0 {
+		// Everything was a sliver (can only happen with pathological eps
+		// settings); fall back to a single arc from the first input.
+		s[0] = Arc{Start: 0, End: geom.TwoPi, Disk: s[0].Disk}
+		w = 1
+	}
+	out := s[:w]
+	if w > 0 {
+		out[0].Start = 0
+		out[w-1].End = geom.TwoPi
+	}
+	return out
 }
 
 // resolveSpan appends to out the skyline arcs of the span [a, b] on which
@@ -189,8 +231,18 @@ func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesc
 			ins.case2.Inc()
 		}
 	}
-	// Candidate angles arrive in unspecified order.
-	sort.Float64s(cuts[1 : n-1])
+	// Candidate angles arrive in unspecified order; there are at most six
+	// interior cuts, so an inline insertion sort orders them without
+	// bringing sort.* onto the hot path.
+	for p := 2; p < n-1; p++ {
+		x := cuts[p]
+		q := p
+		for q > 1 && cuts[q-1] > x {
+			cuts[q] = cuts[q-1]
+			q--
+		}
+		cuts[q] = x
+	}
 	for k := 0; k+1 < n; k++ {
 		lo, hi := cuts[k], cuts[k+1]
 		if geom.AngleSliver(lo, hi) {

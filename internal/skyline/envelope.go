@@ -50,10 +50,11 @@ func checkLocal(disks []geom.Disk) error {
 // distance over all disks, together with the index of the winning disk
 // under the canonical tie-break. The disks must form a local disk set.
 func Rho(disks []geom.Disk, theta float64) (float64, int) {
+	e := geom.Unit(theta)
 	best := math.Inf(-1)
 	arg := -1
 	for i, d := range disks {
-		r := d.RayDist(theta)
+		r := d.RayDistDir(e)
 		if arg < 0 || geom.RhoCmp(r, best) > 0 {
 			best, arg = r, i
 			continue
@@ -82,8 +83,9 @@ func betterTie(disks []geom.Disk, i, j int) bool {
 // distance at theta, applying the canonical tie-break when the values are
 // within geom.RhoEps.
 func winner(disks []geom.Disk, i, j int, theta float64) int {
-	ri := disks[i].RayDist(theta)
-	rj := disks[j].RayDist(theta)
+	e := geom.Unit(theta)
+	ri := disks[i].RayDistDir(e)
+	rj := disks[j].RayDistDir(e)
 	switch geom.RhoCmp(ri, rj) {
 	case +1:
 		return i
@@ -115,14 +117,15 @@ func crossingAngles(disks []geom.Disk, i, j int) (out [6]float64, n int) {
 	if ok {
 		for _, p := range buf[:cnt] {
 			theta := p.Angle()
+			e := geom.Unit(theta)
 			dist := p.Norm()
 			// Far-root consistency: the crossing of the ρ curves happens
 			// only where this intersection point is the *far* intersection
 			// of the ray with both circles. The tolerance is proportional
 			// to the local scale to absorb the sqrt in RayDist.
 			tol := 1e-7 * (1 + dist)
-			if math.Abs(disks[i].RayDist(theta)-dist) <= tol &&
-				math.Abs(disks[j].RayDist(theta)-dist) <= tol {
+			if math.Abs(disks[i].RayDistDir(e)-dist) <= tol &&
+				math.Abs(disks[j].RayDistDir(e)-dist) <= tol {
 				out[n] = theta
 				n++
 			}

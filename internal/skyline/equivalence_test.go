@@ -267,16 +267,8 @@ func TestMergeSymmetry(t *testing.T) {
 		n := 4 + rng.Intn(16)
 		disks := randomLocalSet(rng, n)
 		half := n / 2
-		idxA := make([]int, half)
-		idxB := make([]int, n-half)
-		for i := 0; i < half; i++ {
-			idxA[i] = i
-		}
-		for i := half; i < n; i++ {
-			idxB[i-half] = i
-		}
-		sa := compute(disks, idxA, nil, 1)
-		sb := compute(disks, idxB, nil, 1)
+		sa := computeRange(disks, 0, half, nil, 1)
+		sb := computeRange(disks, half, n, nil, 1)
 		ab := Merge(disks, sa, sb)
 		ba := Merge(disks, sb, sa)
 		sameEnvelope(t, disks, ab, ba, "merge-symmetry")

@@ -26,18 +26,14 @@ func ComputeParallel(disks []geom.Disk, workers int) (Skyline, error) {
 	for w := 1; w < workers; w *= 2 {
 		depth++
 	}
-	idx := make([]int, len(disks))
-	for i := range idx {
-		idx[i] = i
-	}
 	m := skyInstr.Load()
 	if m == nil {
-		return computeParallel(disks, idx, depth, nil, 1), nil
+		return computeParallel(disks, 0, len(disks), depth, nil, 1), nil
 	}
 	m.computes.Inc()
 	m.parWorkers.Set(float64(workers))
 	stop := m.computeSeconds.Start()
-	sl := computeParallel(disks, idx, depth, m, 1)
+	sl := computeParallel(disks, 0, len(disks), depth, m, 1)
 	stop()
 	m.recordCompute(len(sl), len(disks))
 	return sl, nil
@@ -45,22 +41,25 @@ func ComputeParallel(disks []geom.Disk, workers int) (Skyline, error) {
 
 // computeParallel fans the recursion out across goroutines for the top
 // spawnDepth levels; rdepth tracks the recursion level for the depth gauge.
-func computeParallel(disks []geom.Disk, idx []int, spawnDepth int, m *skyMetrics, rdepth int) Skyline {
-	if spawnDepth == 0 || len(idx) <= parallelCutoff {
+// Each sequential subtree and each top-level merge borrows a pooled Scratch
+// (concurrent branches need distinct working memory), so the only per-call
+// allocations are the subtree results themselves.
+func computeParallel(disks []geom.Disk, lo, hi, spawnDepth int, m *skyMetrics, rdepth int) Skyline {
+	if spawnDepth == 0 || hi-lo <= parallelCutoff {
 		if m != nil {
 			m.parSequential.Inc()
 		}
-		return compute(disks, idx, m, rdepth)
+		return computeRange(disks, lo, hi, m, rdepth)
 	}
 	if m != nil {
 		m.parSpawned.Inc()
 	}
-	mid := len(idx) / 2
+	mid := lo + (hi-lo)/2
 	ch := make(chan Skyline, 1)
 	go func() {
-		ch <- computeParallel(disks, idx[:mid], spawnDepth-1, m, rdepth+1)
+		ch <- computeParallel(disks, lo, mid, spawnDepth-1, m, rdepth+1)
 	}()
-	right := computeParallel(disks, idx[mid:], spawnDepth-1, m, rdepth+1)
+	right := computeParallel(disks, mid, hi, spawnDepth-1, m, rdepth+1)
 	left := <-ch
-	return merge(disks, left, right, true, m)
+	return Merge(disks, left, right)
 }

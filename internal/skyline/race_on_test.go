@@ -1,0 +1,9 @@
+//go:build race
+
+package skyline
+
+// raceEnabled reports whether the race detector is active. Under race,
+// sync.Pool deliberately randomizes Get/Put (dropping items to expose
+// unsynchronized reuse), so pool-amortization cannot be measured; the
+// pool-backed allocation tests skip themselves.
+const raceEnabled = true
