@@ -1,6 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-skyline bench-smoke cover fuzz fuzz-smoke lint lint-eps experiments examples clean
+.PHONY: all build test race bench bench-skyline bench-smoke bench-check cover fuzz fuzz-smoke lint lint-eps experiments examples clean
+
+# The longitudinal benchmark history: every `make bench` / `make
+# bench-skyline` run appends its report here (with git SHA, cores,
+# workers, and latency quantiles), and `make bench-check` gates on the
+# trajectory — the latest run of each configuration vs the median of its
+# predecessors. See docs/OBSERVABILITY.md.
+TRAJECTORY := results/BENCH_trajectory.jsonl
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 all: build lint test
 
@@ -29,19 +37,33 @@ race:
 bench:
 	go test -bench=. -benchmem ./...
 	ENGINE_BENCH_OUT=$(CURDIR)/BENCH_engine.json go test -run=TestEngineBenchReport -count=1 ./internal/engine/
+	go run ./cmd/benchdiff -append -engine BENCH_engine.json -trajectory $(TRAJECTORY) -sha $(GIT_SHA)
+	go run ./cmd/benchdiff -check -trajectory $(TRAJECTORY)
 
 # Skyline kernel microbenchmarks + the machine-readable BENCH_skyline.json
 # report (ns/op, allocs/op, mean arc count per input size).
 bench-skyline:
 	go test -bench='^(BenchmarkCompute|BenchmarkComputeInto)$$' -benchmem ./internal/skyline/
 	SKYLINE_BENCH_OUT=$(CURDIR)/BENCH_skyline.json go test -run=TestSkylineBenchReport -count=1 -v ./internal/skyline/
+	go run ./cmd/benchdiff -append -skyline BENCH_skyline.json -trajectory $(TRAJECTORY) -sha $(GIT_SHA)
+	go run ./cmd/benchdiff -check -trajectory $(TRAJECTORY)
 
-# CI smoke: every skyline and engine microbenchmark compiles and runs once
-# (-benchtime=1x; build + sanity, not timing), and the allocation
-# regression tests hold under the race detector.
+# Regression gate over the committed trajectory (no fresh timing, so it is
+# deterministic in CI): latest run of each configuration vs the median of
+# its predecessors.
+bench-check:
+	go run ./cmd/benchdiff -check -trajectory $(TRAJECTORY)
+
+# CI smoke: every skyline, engine, and obs microbenchmark compiles and
+# runs once (-benchtime=1x; build + sanity, not timing), the allocation
+# regression tests hold under the race detector, and a small instrumented
+# engine run dumps its metrics (with latency quantiles) for the CI
+# artifact upload.
 bench-smoke:
-	go test -run='^$$' -bench=. -benchtime=1x ./internal/skyline/ ./internal/engine/
+	go test -run='^$$' -bench=. -benchtime=1x ./internal/skyline/ ./internal/engine/ ./internal/obs/
 	go test -race -run='Allocs' -count=1 ./internal/skyline/ ./internal/engine/
+	ENGINE_BENCH_OUT=$(CURDIR)/results/bench_smoke_metrics.json ENGINE_BENCH_N=2000 \
+		go test -run=TestEngineBenchReport -count=1 ./internal/engine/
 
 cover:
 	go test -coverprofile=cover.out ./internal/... .

@@ -17,18 +17,22 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/obs/expo"
 )
 
 func main() {
@@ -232,16 +236,21 @@ func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err erro
 		}
 	}
 	mldcs.Instrument(reg, sink)
+	var srv *http.Server
 	if pprofAddr != "" {
-		expvar.Publish("mldcs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
-		go func() {
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "mldcsim: pprof server:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "mldcsim: serving pprof + expvar on %s (/debug/pprof, /debug/vars)\n", pprofAddr)
+		srv, err = startDebugServer(pprofAddr, reg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return func() {
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "mldcsim: shutting down debug server:", err)
+			}
+			cancel()
+		}
 		if sink != nil {
 			if err := sink.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "mldcsim: flushing event trace:", err)
@@ -261,6 +270,47 @@ func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err erro
 			fmt.Printf("wrote %s\n", metricsOut)
 		}
 	}, nil
+}
+
+// startDebugServer serves the debug surface on its own mux and server —
+// never the defaults, which would leak the handlers to any library that
+// also uses them and could not be shut down. Routes: /debug/pprof/*,
+// /debug/vars (expvar, incl. the live registry under mldcs_metrics),
+// /metrics (Prometheus text exposition), and /healthz. The listener is
+// opened synchronously so a bad address fails before the run; the caller
+// shuts the server down via (*http.Server).Shutdown.
+func startDebugServer(addr string, reg *mldcs.MetricsRegistry) (*http.Server, error) {
+	// Publish the live registry for /debug/vars readers. expvar panics on
+	// duplicate names, so re-runs inside one process (tests) must skip it.
+	if expvar.Get("mldcs_metrics") == nil {
+		expvar.Publish("mldcs_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	expo.Mount(mux, reg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	srv := &http.Server{
+		Addr:              ln.Addr().String(), // resolved address, useful with ":0"
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "mldcsim: debug server:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "mldcsim: serving debug endpoints on %s (/debug/pprof, /debug/vars, /metrics, /healthz)\n",
+		ln.Addr())
+	return srv, nil
 }
 
 func runDemo(seed int64, n int, svgPath string) error {

@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -120,4 +125,82 @@ func TestSetupObs(t *testing.T) {
 		t.Fatal(err)
 	}
 	finish2()
+}
+
+// TestDebugServer starts the -pprof debug server on an ephemeral port and
+// scrapes every mounted surface: /metrics must be Prometheus text with
+// p99 series, /healthz must answer ok, and /debug/vars must be JSON.
+func TestDebugServer(t *testing.T) {
+	reg := mldcs.NewMetricsRegistry()
+	reg.Counter("engine_compute_total").Add(7)
+	reg.Timer("engine_update_seconds").Observe(3 * time.Millisecond)
+
+	srv, err := startDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("debug server must set ReadHeaderTimeout")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"engine_compute_total 7",
+		"# TYPE engine_update_seconds_p99 gauge",
+		"engine_update_seconds_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+	if got := strings.TrimSpace(get("/healthz")); got != "ok" {
+		t.Errorf("/healthz = %q, want ok", got)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	} else if _, ok := vars["mldcs_metrics"]; !ok {
+		t.Error("/debug/vars does not publish mldcs_metrics")
+	}
+
+	// Shutting down and restarting within one process must not panic on a
+	// duplicate expvar publish.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	srv2, err := startDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv2.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -1,13 +1,15 @@
-// Package obssink forbids ad-hoc terminal output from library packages.
+// Package obssink forbids ad-hoc terminal output from library packages
+// and enforces the metric naming convention.
 //
 // The engine and broadcast event streams emitted through internal/obs are
 // the single source of truth for what the system did; a stray
 // fmt.Println deep in a library package bypasses that sink, corrupts
 // machine-read JSONL output (cmd/mldcsim -events writes to stdout), and
 // cannot be redirected by the caller. Library packages — everything under
-// repro/internal/ except internal/viz, which renders human-facing SVG/PPM
-// output by design — must either emit obs events/metrics or write to an
-// io.Writer supplied by the caller.
+// repro/internal/ except internal/viz (which renders human-facing SVG/PPM
+// output by design) and internal/obs/expo (which writes the Prometheus
+// text exposition to an http.ResponseWriter by design) — must either emit
+// obs events/metrics or write to an io.Writer supplied by the caller.
 //
 // Flagged in library packages, outside _test.go files:
 //
@@ -16,13 +18,22 @@
 //     which writes to the process-global stderr logger;
 //   - any mention of os.Stdout or os.Stderr.
 //
+// Separately, in every repro/internal package (including viz and expo),
+// the metric name passed to Registry.Counter / Gauge / Histogram / Timer
+// must be a compile-time constant string in lower_snake_case
+// (^[a-z][a-z0-9_]*$). Snapshot keys feed the JSONL event stream, expvar,
+// and the /metrics Prometheus exposition verbatim, so a dynamic or
+// mixed-case name silently produces an invalid or colliding series.
+//
 // Binaries (cmd/...), examples, and the root facade package are exempt:
-// terminal output is their job.
+// terminal output is their job, and they do not define metrics.
 package obssink
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
+	"regexp"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
@@ -33,32 +44,71 @@ import (
 // VizPath is the one internal package allowed to produce direct output.
 const VizPath = "repro/internal/viz"
 
+// ExpoPath is the metrics exposition package: it writes the Prometheus
+// text format to an http.ResponseWriter, so the writer check does not
+// apply (the metric-name check still does).
+const ExpoPath = "repro/internal/obs/expo"
+
+// ObsPath is the metrics package whose Registry constructors the naming
+// check watches.
+const ObsPath = "repro/internal/obs"
+
 const Name = "obssink"
 
 var Analyzer = &analysis.Analyzer{
 	Name: Name,
 	Doc: "forbid fmt.Print*/log.*/os.Stdout writes in library packages (internal/*\n" +
-		"except viz); instrument via internal/obs or take an io.Writer",
+		"except viz and obs/expo); require lower_snake_case constant metric names\n" +
+		"in Registry.Counter/Gauge/Histogram/Timer calls",
 	Run: run,
 }
 
-func libraryPackage(path string) bool {
-	if !strings.HasPrefix(path, "repro/internal/") {
-		return false
+// metricNameRE is the naming convention for registry metric names: they
+// surface verbatim as JSON keys, expvar fields, and Prometheus series
+// names, and lower_snake_case is the intersection all three accept.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registryMethods are the *obs.Registry constructors whose first argument
+// is a metric name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Timer":     true,
+}
+
+func internalPackage(path string) bool {
+	return strings.HasPrefix(path, "repro/internal/")
+}
+
+// writerExempt reports whether the package may produce direct output.
+func writerExempt(path string) bool {
+	for _, p := range []string{VizPath, ExpoPath} {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
 	}
-	return path != VizPath && !strings.HasPrefix(path, VizPath+"/")
+	return false
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !libraryPackage(pass.Pkg.Path()) {
+	path := pass.Pkg.Path()
+	if !internalPackage(path) {
 		return nil, nil
 	}
+	checkWriters := !writerExempt(path)
 	info := pass.TypesInfo
 	for _, file := range pass.Files {
 		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkMetricName(pass, file, call)
+			}
+			if !checkWriters {
+				return true
+			}
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
@@ -94,4 +144,54 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// checkMetricName flags Registry.Counter/Gauge/Histogram/Timer calls
+// whose metric name is not a lower_snake_case compile-time constant.
+func checkMetricName(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !isRegistryMethod(fn) {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.TypesInfo.Types[arg]
+	report := func(format string, args ...interface{}) {
+		if allowdirective.Allowed(pass.Fset, file, arg.Pos(), Name) {
+			return
+		}
+		pass.ReportRangef(arg, format+" — docs/OBSERVABILITY.md", args...)
+	}
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		report("metric name passed to Registry.%s must be a constant string (it becomes a JSON/expvar/Prometheus series name)", sel.Sel.Name)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		report("metric name %q passed to Registry.%s is not lower_snake_case (want %s)", name, sel.Sel.Name, metricNameRE)
+	}
+}
+
+// isRegistryMethod reports whether fn is a method on obs.Registry (or a
+// pointer to it), matched by the receiver's defining package and type
+// name so type aliases like mldcs.MetricsRegistry resolve too.
+func isRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == ObsPath && obj.Name() == "Registry"
 }

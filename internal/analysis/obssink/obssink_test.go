@@ -8,9 +8,18 @@ import (
 )
 
 // TestObsSink runs the failing library fixture (repro/internal/badlib)
-// and the two exempt ones: the viz package and a non-internal package,
-// both of which print freely and must produce no diagnostics.
+// and the two writer-exempt ones: the viz package and a non-internal
+// package, both of which print freely and must produce no diagnostics.
 func TestObsSink(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), obssink.Analyzer,
 		"repro/internal/badlib", "repro/internal/viz", "a")
+}
+
+// TestMetricNames runs the metric-naming fixture (constant
+// lower_snake_case names for Registry.Counter/Gauge/Histogram/Timer) and
+// the expo fixture, which is exempt from the writer checks but not from
+// the naming one.
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obssink.Analyzer,
+		"repro/internal/badmetrics", "repro/internal/obs/expo")
 }

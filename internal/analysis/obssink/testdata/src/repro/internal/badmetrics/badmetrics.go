@@ -1,0 +1,41 @@
+// Package badmetrics is the metric-naming fixture: names handed to
+// Registry.Counter/Gauge/Histogram/Timer must be lower_snake_case
+// compile-time constant strings.
+package badmetrics
+
+import "repro/internal/obs"
+
+// MetricGood follows the convention: constants are how real packages
+// name their metrics.
+const MetricGood = "badmetrics_ops_total"
+
+// MetricBad is a constant, but not lower_snake_case.
+const MetricBad = "badmetrics-OpsTotal"
+
+func Instrument(r *obs.Registry, dynamic string) {
+	r.Counter(MetricGood)               // constant, snake_case: allowed
+	r.Counter("badmetrics_hits_total")  // literal, snake_case: allowed
+	r.Gauge("badmetrics_queue_depth")   // allowed
+	r.Histogram("badmetrics_sizes")     // allowed
+	r.Timer("badmetrics_solve_seconds") // allowed
+
+	r.Counter(MetricBad)                  // want `metric name "badmetrics-OpsTotal" passed to Registry\.Counter is not lower_snake_case`
+	r.Gauge("CamelCase")                  // want `metric name "CamelCase" passed to Registry\.Gauge is not lower_snake_case`
+	r.Histogram("kebab-case")             // want `metric name "kebab-case" passed to Registry\.Histogram is not lower_snake_case`
+	r.Timer("_leading_under")             // want `metric name "_leading_under" passed to Registry\.Timer is not lower_snake_case`
+	r.Counter("")                         // want `metric name "" passed to Registry\.Counter is not lower_snake_case`
+	r.Counter(dynamic)                    // want `metric name passed to Registry\.Counter must be a constant string`
+	r.Timer("bad name " + MetricGood[:3]) // want `metric name passed to Registry\.Timer must be a constant string`
+
+	r.Gauge("Allowed") //mldcslint:allow obssink fixture demonstrating the escape hatch
+}
+
+// NotARegistry has a Counter method with the same shape; calls to it are
+// not metric registrations and must not be flagged.
+type NotARegistry struct{}
+
+func (NotARegistry) Counter(name string) int { return 0 }
+
+func Unrelated(n NotARegistry) {
+	n.Counter("Whatever Shape")
+}

@@ -1,0 +1,24 @@
+// Package expo stubs the metrics exposition package: it formats the
+// Prometheus text exposition into an http.ResponseWriter (here an
+// io.Writer), so the direct-output checks do not apply to it — but the
+// metric-name convention still does.
+package expo
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func Write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE engine_compute_total counter\n")
+	fmt.Println("expo is writer-exempt")
+	fmt.Fprintln(os.Stderr, "still exempt")
+}
+
+func Names(r *obs.Registry) {
+	r.Counter("expo_scrapes_total")             // allowed
+	r.Counter("Exempt From Writers, Not Names") // want `metric name "Exempt From Writers, Not Names" passed to Registry\.Counter is not lower_snake_case`
+}

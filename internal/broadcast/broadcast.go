@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/forwarding"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Result summarizes one simulated broadcast.
@@ -128,6 +129,10 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 		// Deterministic order within a round.
 		sort.Slice(frontier, func(a, b int) bool { return frontier[a].node < frontier[b].node })
 		round++
+		var roundSpan obs.Span
+		if m != nil {
+			roundSpan = m.spanRound.Begin()
+		}
 		// Per-round instrumentation deltas, accumulated locally so the
 		// reception loops carry no atomic traffic.
 		roundReceptions := 0
@@ -180,6 +185,9 @@ func Run(g *network.Graph, source int, fwd forwarding.Selector) (Result, error) 
 		if m != nil {
 			m.recordRound(round, len(frontier), roundReceptions,
 				res.Delivered-prevDelivered, res.Redundant-prevRedundant)
+		}
+		if roundSpan.Sampled() {
+			roundSpan.End(map[string]any{"round": round, "transmitters": len(frontier)})
 		}
 		frontier = next
 	}

@@ -20,6 +20,10 @@ const (
 
 	EventRound = "broadcast_round"
 	EventDone  = "broadcast_done"
+
+	// SpanRound is the span kind wrapping each hop round's processing (see
+	// obs.SpanTracer); the EventRound emitted inside it carries the totals.
+	SpanRound = "broadcast_round_span"
 )
 
 // bcMetrics holds pre-resolved handles plus the optional event sink.
@@ -35,6 +39,7 @@ type bcMetrics struct {
 	fwdSetSize    *obs.Histogram
 	frontierSize  *obs.Histogram
 	sink          *obs.EventSink
+	spanRound     *obs.SpanKind
 }
 
 var bcInstr atomic.Pointer[bcMetrics]
@@ -47,6 +52,7 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 		bcInstr.Store(nil)
 		return
 	}
+	tracer := obs.NewSpanTracer(sink, 0)
 	bcInstr.Store(&bcMetrics{
 		runs:          r.Counter(MetricRunsTotal),
 		rounds:        r.Counter(MetricRoundsTotal),
@@ -54,9 +60,10 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 		receptions:    r.Counter(MetricReceptionsTotal),
 		redundant:     r.Counter(MetricRedundantTotal),
 		collisions:    r.Counter(MetricCollisionsTotal),
-		fwdSetSize:    r.Histogram(MetricFwdSetSize, obs.DefaultSizeBounds...),
-		frontierSize:  r.Histogram(MetricFrontierSize, obs.DefaultSizeBounds...),
+		fwdSetSize:    r.Histogram(MetricFwdSetSize),
+		frontierSize:  r.Histogram(MetricFrontierSize),
 		sink:          sink,
+		spanRound:     tracer.Kind(SpanRound),
 	})
 }
 

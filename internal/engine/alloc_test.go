@@ -2,11 +2,15 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/skyline"
 )
 
 // Steady-state per-node recompute — same geometry, warm worker scratch —
@@ -48,6 +52,67 @@ func TestComputeNodeSteadyStateAllocs(t *testing.T) {
 			}
 			if allocs != 0 {
 				t.Errorf("steady-state recompute of %d nodes allocated %.1f objects/run, want 0",
+					len(nodes), allocs)
+			}
+		})
+	}
+}
+
+// Instrumentation must not buy observability with hot-path garbage: with
+// a live registry, an event sink, and span tracing all installed, the
+// steady-state per-node recompute still runs at zero allocations. The
+// warm-up deliberately runs past the span sampling budget so the measured
+// iterations exercise the post-budget fast path (sharded counter add +
+// closed-flag load), which is the steady state of any long run. Cache off
+// and on cover both branches of computeNode, and skyline instrumentation
+// is installed too, so the per-node timer (Start/Stop on sharded cells)
+// and arc histogram are part of what is being pinned.
+func TestComputeNodeInstrumentedAllocs(t *testing.T) {
+	nodes, _, err := benchDeployment(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(io.Discard)
+	Instrument(reg, sink)
+	skyline.Instrument(reg)
+	t.Cleanup(func() {
+		Instrument(nil, nil)
+		skyline.Instrument(nil)
+	})
+	for _, cache := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cache=%v", cache), func(t *testing.T) {
+			e := New(Config{Workers: 1, Cache: cache})
+			if _, err := e.Compute(nodes); err != nil {
+				t.Fatal(err)
+			}
+			sc := &scratch{}
+			// Warm-up: grow the scratch buffers and exhaust the per-node
+			// span budget so Begin is on its no-op fast path.
+			for uint64(engInstr.Load().spanNode.Total()) <= obs.DefaultSpanLimit {
+				for u := range nodes {
+					if err := e.computeNode(u, sc); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if got := engInstr.Load().spanNode.SampledCount(); got < obs.DefaultSpanLimit {
+				t.Fatalf("span budget not exhausted after warm-up: %d sampled", got)
+			}
+			var nodeErr error
+			allocs := testing.AllocsPerRun(5, func() {
+				for u := range nodes {
+					if err := e.computeNode(u, sc); err != nil {
+						nodeErr = err
+						return
+					}
+				}
+			})
+			if nodeErr != nil {
+				t.Fatal(nodeErr)
+			}
+			if allocs != 0 {
+				t.Errorf("instrumented steady-state recompute of %d nodes allocated %.1f objects/run, want 0",
 					len(nodes), allocs)
 			}
 		})

@@ -15,6 +15,8 @@ import (
 	"repro/internal/mldcs"
 	"repro/internal/mobility"
 	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/skyline"
 )
 
 // benchDeployment builds a heterogeneous deployment of ≈ n nodes at the
@@ -109,7 +111,10 @@ func BenchmarkEngineUpdate(b *testing.B) {
 	}
 }
 
-// benchReportEntry is one workload's row in BENCH_engine.json.
+// benchReportEntry is one workload's row in BENCH_engine.json. The
+// node_p* fields are the per-node skyline recompute latency distribution
+// (in microseconds) observed across the workload's engine passes — the
+// latency side of the story that the wall-time totals cannot show.
 type benchReportEntry struct {
 	Workload      string  `json:"workload"`
 	Nodes         int     `json:"nodes"`
@@ -120,6 +125,10 @@ type benchReportEntry struct {
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	NodeP50US     float64 `json:"node_p50_us"`
+	NodeP90US     float64 `json:"node_p90_us"`
+	NodeP99US     float64 `json:"node_p99_us"`
+	NodeP999US    float64 `json:"node_p999_us"`
 }
 
 // TestEngineBenchReport writes the machine-readable engine benchmark used
@@ -203,6 +212,10 @@ func benchWorkload(t *testing.T, name string, nodes []network.Node, workers int)
 	t.Helper()
 	var seq, eng [benchPasses]float64
 	var res *Result
+	// Scoped registry: skyline instrumentation is installed only around
+	// the engine passes, so the per-node latency distribution covers
+	// exactly the engine's recomputes (not the sequential baseline's).
+	reg := obs.NewRegistry()
 	for pass := 0; pass < benchPasses; pass++ {
 		start := time.Now()
 		if err := benchSequential(nodes); err != nil {
@@ -210,16 +223,20 @@ func benchWorkload(t *testing.T, name string, nodes []network.Node, workers int)
 		}
 		seq[pass] = float64(time.Since(start).Microseconds()) / 1000
 
+		skyline.Instrument(reg)
 		start = time.Now()
 		r, err := New(Config{Workers: workers, Cache: true}).Compute(nodes)
+		elapsed := time.Since(start)
+		skyline.Instrument(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng[pass] = float64(time.Since(start).Microseconds()) / 1000
+		eng[pass] = float64(elapsed.Microseconds()) / 1000
 		res = r
 	}
 	seqMS := median3(seq)
 	engMS := median3(eng)
+	nodeLat := reg.Snapshot().Timers[skyline.MetricComputeSeconds]
 
 	e := benchReportEntry{
 		Workload:     name,
@@ -229,6 +246,10 @@ func benchWorkload(t *testing.T, name string, nodes []network.Node, workers int)
 		EngineMS:     engMS,
 		CacheHits:    res.Stats.CacheHits,
 		CacheMisses:  res.Stats.CacheMisses,
+		NodeP50US:    nodeLat.P50 * 1e6,
+		NodeP90US:    nodeLat.P90 * 1e6,
+		NodeP99US:    nodeLat.P99 * 1e6,
+		NodeP999US:   nodeLat.P999 * 1e6,
 	}
 	if engMS > 0 {
 		e.Speedup = seqMS / engMS

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/skyline"
 	"repro/internal/spatial"
 )
@@ -171,13 +172,23 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 	e.stats.Cells = len(cells)
 
 	hits0, misses0 := e.cache.counts()
+	var passSpan obs.Span
+	var spanCell *obs.SpanKind
+	if m != nil {
+		passSpan = m.spanCompute.Begin()
+		spanCell = m.spanCell
+	}
 	var firstErr runErr
 	workers := e.forEachShard(len(cells), func(i int, sc *scratch) {
+		cellSpan := spanCell.Begin()
 		for _, u := range cells[i] {
 			if err := e.computeNode(u, sc); err != nil {
 				firstErr.set(err)
-				return
+				break
 			}
+		}
+		if cellSpan.Sampled() {
+			cellSpan.End(map[string]any{"cell": i, "nodes": len(cells[i])})
 		}
 	})
 	if err := firstErr.get(); err != nil {
@@ -195,6 +206,13 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 
 	if m != nil {
 		m.recordCompute(e.stats, time.Since(start), e.cache)
+	}
+	if passSpan.Sampled() {
+		passSpan.End(map[string]any{
+			"nodes":   e.stats.Nodes,
+			"cells":   e.stats.Cells,
+			"workers": e.stats.Workers,
+		})
 	}
 	return e.snapshot(), nil
 }
@@ -314,6 +332,10 @@ type nbTuple struct {
 // bit; the local set is then canonicalized and solved (or replayed from
 // the cache).
 func (e *Engine) computeNode(u int, sc *scratch) error {
+	var nodeSpan obs.Span
+	if m := engInstr.Load(); m != nil {
+		nodeSpan = m.spanNode.Begin()
+	}
 	hub := e.nodes[u]
 	sc.ids = sc.ids[:0]
 	e.grid.VisitWithin(hub.Pos, hub.Radius, func(v int) {
@@ -359,6 +381,9 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 			sc.fwdBuf = appendMappedCover(sc.fwdBuf[:0], ent.canon, sc.tuples)
 			e.fwd[u] = keepInts(e.fwd[u], sc.fwdBuf)
 			e.hubIn[u] = ent.hubIn
+			if nodeSpan.Sampled() {
+				nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "cached": true})
+			}
 			return nil
 		}
 		sc.misses++
@@ -379,6 +404,9 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 	sc.sl = sc.sky.ComputeIntoUnchecked(sc.sl, sc.disks)
 	if ierr := checkInvariants(sc.sl, len(sc.disks)); ierr != nil {
 		e.fallbackNode(u, ierr)
+		if nodeSpan.Sampled() {
+			nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "fallback": true})
+		}
 		return nil
 	}
 	sc.cover = sc.sl.AppendSet(sc.cover)
@@ -400,6 +428,9 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		// allocating branch of the per-node loop, and a steady-state pass
 		// has none.
 		shard.put(sc.key, cacheEntry{hubIn: hubIn, canon: sc.ownCanon()})
+	}
+	if nodeSpan.Sampled() {
+		nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "cover": len(sc.fwdBuf)})
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // Update advances the engine to new node states without redoing the whole
@@ -85,6 +86,10 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 
 	hits0, misses0 := e.cache.counts()
 	e.fallbacks.Store(0)
+	var tickSpan obs.Span
+	if m != nil {
+		tickSpan = m.spanUpdate.Begin()
+	}
 	var firstErr runErr
 	workers := e.forEachShard(len(list), func(i int, sc *scratch) {
 		if err := e.computeNode(list[i], sc); err != nil {
@@ -111,6 +116,12 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	}
 	if m != nil {
 		m.recordUpdate(e.stats, time.Since(start), e.cache)
+	}
+	if tickSpan.Sampled() {
+		tickSpan.End(map[string]any{
+			"moved": e.stats.Moved,
+			"dirty": e.stats.Dirty,
+		})
 	}
 	return e.snapshot(), nil
 }

@@ -29,6 +29,14 @@ const (
 	// EventFallback is emitted once per node whose computed skyline failed
 	// the runtime invariant check and was replaced by the full local set.
 	EventFallback = "engine_fallback"
+
+	// Span kinds emitted by this package (see obs.SpanTracer): one span per
+	// whole-network Compute pass, one per incremental Update tick, one per
+	// worker cell batch inside a pass, and one per per-node recompute.
+	SpanCompute = "engine_compute"
+	SpanUpdate  = "engine_update"
+	SpanCell    = "engine_cell"
+	SpanNode    = "engine_node"
 )
 
 // engMetrics holds pre-resolved handles so the engine never touches the
@@ -56,6 +64,13 @@ type engMetrics struct {
 	// the runtime invariant check and got the full local set instead.
 	fallbacks *obs.Counter
 	sink      *obs.EventSink
+	// Span kinds (nil when no sink is attached): pass → cell batch → node,
+	// plus update ticks. Per-kind sampling keeps the trace bounded while
+	// the sharded totals keep counting past the budget.
+	spanCompute *obs.SpanKind
+	spanUpdate  *obs.SpanKind
+	spanCell    *obs.SpanKind
+	spanNode    *obs.SpanKind
 }
 
 // engInstr is the installed instrumentation; nil means disabled, and the
@@ -70,6 +85,7 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 		engInstr.Store(nil)
 		return
 	}
+	tracer := obs.NewSpanTracer(sink, 0)
 	engInstr.Store(&engMetrics{
 		computes:       r.Counter(MetricComputeTotal),
 		computeSeconds: r.Timer(MetricComputeSeconds),
@@ -84,10 +100,14 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 		cacheHitRatio:  r.Gauge(MetricCacheHitRatio),
 		cacheEntries:   r.Gauge(MetricCacheEntries),
 		workers:        r.Gauge(MetricWorkers),
-		dirtyNodes:     r.Histogram(MetricDirtyNodes, obs.DefaultSizeBounds...),
+		dirtyNodes:     r.Histogram(MetricDirtyNodes),
 		dirtyFraction:  r.Gauge(MetricDirtyFraction),
 		fallbacks:      r.Counter(MetricFallbacks),
 		sink:           sink,
+		spanCompute:    tracer.Kind(SpanCompute),
+		spanUpdate:     tracer.Kind(SpanUpdate),
+		spanCell:       tracer.Kind(SpanCell),
+		spanNode:       tracer.Kind(SpanNode),
 	})
 }
 

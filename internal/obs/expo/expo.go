@@ -1,0 +1,108 @@
+// Package expo serves an obs.Registry over HTTP in the Prometheus text
+// exposition format, plus a trivial /healthz liveness endpoint. It is the
+// scrape surface mldcsim mounts on its -pprof mux, and the one the mldcsd
+// service will reuse verbatim.
+//
+// The mapping from registry metrics to exposition series is fixed:
+//
+//   - counters    → one `counter` series under their registered name
+//   - gauges     → one `gauge` series
+//   - histograms → `summary`-style derived series: <name>_count,
+//     <name>_sum, <name>_min, <name>_max, and quantile series
+//     <name>_p50 / _p90 / _p99 / _p999
+//   - timers     → like histograms, values in seconds
+//
+// Registered names are lower_snake_case by construction (the mldcslint
+// obssink analyzer enforces it at the call sites), which is exactly the
+// Prometheus metric-name grammar, so names pass through unescaped.
+package expo
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Handler serves GET /metrics from a registry. The registry may be nil,
+// in which case the exposition is empty but still well-formed.
+func Handler(r *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeSnapshot(w, r.Snapshot())
+	})
+}
+
+// HealthzHandler serves GET /healthz: 200 "ok" while the process is up.
+// Liveness only — readiness semantics belong to the service embedding it.
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// Mount registers the /metrics and /healthz routes on mux.
+func Mount(mux *http.ServeMux, r *obs.Registry) {
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/healthz", HealthzHandler())
+}
+
+// writeSnapshot renders one snapshot as Prometheus text exposition.
+// Names are emitted in sorted order within each section, so the output
+// for a given snapshot is deterministic.
+func writeSnapshot(w http.ResponseWriter, s obs.Snapshot) {
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatValue(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		writeHistogram(w, name, s.Histograms[name])
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		writeHistogram(w, name, s.Timers[name])
+	}
+}
+
+// writeHistogram renders one histogram (or timer) snapshot as derived
+// gauge/counter series. Prometheus native summaries need quantile labels;
+// suffixed series keep the exposition dependency-free and greppable, and
+// the _p99 convention matches the BENCH trajectory fields.
+func writeHistogram(w http.ResponseWriter, name string, h obs.HistogramSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s_count counter\n%s_count %d\n", name, name, h.Count)
+	fmt.Fprintf(w, "# TYPE %s_sum gauge\n%s_sum %s\n", name, name, formatValue(h.Sum))
+	for _, q := range []struct {
+		suffix string
+		v      float64
+	}{
+		{"min", h.Min},
+		{"max", h.Max},
+		{"p50", h.P50},
+		{"p90", h.P90},
+		{"p99", h.P99},
+		{"p999", h.P999},
+	} {
+		fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %s\n", name, q.suffix, name, q.suffix, formatValue(q.v))
+	}
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with non-finite values spelled NaN/+Inf/-Inf
+// (snapshots never produce them, but the format is total).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

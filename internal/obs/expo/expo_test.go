@@ -1,0 +1,110 @@
+package expo
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func scrape(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("engine_compute_total").Add(3)
+	r.Gauge("engine_workers").Set(4)
+	h := r.Histogram("engine_dirty_nodes")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	r.Timer("engine_update_seconds").Observe(25 * time.Millisecond)
+
+	mux := http.NewServeMux()
+	Mount(mux, r)
+	code, body := scrape(t, mux, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", code)
+	}
+
+	for _, want := range []string{
+		"# TYPE engine_compute_total counter\nengine_compute_total 3\n",
+		"# TYPE engine_workers gauge\nengine_workers 4\n",
+		"# TYPE engine_dirty_nodes_count counter\nengine_dirty_nodes_count 100\n",
+		"# TYPE engine_dirty_nodes_p99 gauge\n",
+		"# TYPE engine_update_seconds_p99 gauge\n",
+		"engine_update_seconds_count 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n--- body:\n%s", want, body)
+		}
+	}
+
+	// Every non-comment line must match the exposition sample grammar for
+	// unlabeled series: <name> <value>.
+	sample := regexp.MustCompile(`^[a-z][a-z0-9_]* (NaN|[+-]?Inf|[+-]?[0-9][0-9eE.+-]*)$`)
+	comment := regexp.MustCompile(`^# TYPE [a-z][a-z0-9_]* (counter|gauge)$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !comment.MatchString(line) {
+				t.Errorf("bad comment line %q", line)
+			}
+		} else if !sample.MatchString(line) {
+			t.Errorf("bad sample line %q", line)
+		}
+	}
+}
+
+func TestMetricsDeterministic(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("b_total").Add(1)
+	r.Counter("a_total").Add(2)
+	r.Gauge("z").Set(1)
+	h := Handler(r)
+	_, b1 := scrape(t, h, "/")
+	_, b2 := scrape(t, h, "/")
+	if b1 != b2 {
+		t.Error("exposition of an unchanged registry must be byte-identical")
+	}
+	if strings.Index(b1, "a_total") > strings.Index(b1, "b_total") {
+		t.Error("counters must be emitted in sorted name order")
+	}
+}
+
+func TestNilRegistry(t *testing.T) {
+	code, body := scrape(t, Handler(nil), "/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics on nil registry = %d, want 200", code)
+	}
+	if body != "" {
+		t.Errorf("nil registry exposition = %q, want empty", body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	code, body := scrape(t, HealthzHandler(), "/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz body = %q, want ok", body)
+	}
+}

@@ -1,15 +1,27 @@
 // Package obs is the repository's observability layer: a lightweight,
-// allocation-conscious metrics registry (atomic counters, gauges, timers,
-// and fixed-bucket histograms) plus a structured JSONL event sink.
+// allocation-conscious metrics registry (sharded counters, gauges,
+// timers, and log-bucketed quantile histograms), a structured JSONL event
+// sink, and a bounded-sampling span tracer.
 //
-// The design goal is zero cost when disabled. Every metric method is
-// nil-receiver safe, and a nil *Registry hands out nil metric handles, so
-// instrumented packages hold a single atomic pointer to their handle
-// struct and pay one atomic load (plus a predictable branch) per
-// instrumented operation when observability is off. No global state lives
-// here; each instrumented package installs handles via its own Instrument
-// function (see internal/skyline, internal/broadcast,
-// internal/experiments), and the public facade wires them together.
+// Two design goals shape the package:
+//
+//   - Zero cost when disabled. Every metric method is nil-receiver safe,
+//     and a nil *Registry hands out nil metric handles, so instrumented
+//     packages hold a single atomic pointer to their handle struct and
+//     pay one atomic load (plus a predictable branch) per instrumented
+//     operation when observability is off.
+//
+//   - Negligible cost when enabled, at any core count. Counters, timers,
+//     and histograms stripe their state across cache-line-padded shards
+//     (see shard.go); an update touches only the calling goroutine's
+//     shard — one wait-free atomic add with no line shared across cores —
+//     and reads merge the shards. Instrumentation can therefore stay
+//     always-on under a 16-worker engine pool without serializing it.
+//
+// No global state lives here; each instrumented package installs handles
+// via its own Instrument function (see internal/skyline, internal/engine,
+// internal/broadcast, internal/experiments), and the public facade wires
+// them together.
 //
 // Snapshots are deterministic: metric names are emitted in sorted order,
 // so two dumps of registries with the same contents are byte-identical.
@@ -19,39 +31,49 @@ import (
 	"encoding/json"
 	"io"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
-// Counter is a monotonically increasing atomic counter. The zero value is
-// ready to use; a nil Counter is a no-op.
+// Counter is a monotonically increasing counter striped across
+// cache-line-padded shards: Add is a single wait-free atomic add on the
+// calling goroutine's shard, and Value merges the shards. Obtain counters
+// from a Registry; a nil Counter is a no-op.
 type Counter struct {
-	v atomic.Int64
+	cells []cell64
 }
+
+func newCounter() *Counter { return &Counter{cells: make([]cell64, shardCount)} }
 
 // Inc adds 1.
 func (c *Counter) Inc() { c.Add(1) }
 
-// Add adds delta to the counter. No-op on a nil receiver.
+// Add adds delta to the counter. Wait-free; no-op on a nil receiver.
 func (c *Counter) Add(delta int64) {
 	if c == nil {
 		return
 	}
-	c.v.Add(delta)
+	c.cells[shardIndex()].v.Add(delta)
 }
 
-// Value returns the current count (0 for a nil receiver).
+// Value returns the current count (0 for a nil receiver). The read merges
+// all shards; it is atomic per shard but not a consistent cut under
+// concurrent updates.
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
 }
 
-// Gauge is an atomic float64 instantaneous value. The zero value reads 0;
-// a nil Gauge is a no-op.
+// Gauge is an atomic float64 instantaneous value. Gauges are set rarely
+// (once per pass, not per operation), so they are deliberately a single
+// cell: last-write-wins and running-maximum semantics do not merge across
+// shards. The zero value reads 0; a nil Gauge is a no-op.
 type Gauge struct {
 	bits atomic.Uint64
 }
@@ -103,115 +125,14 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram is a fixed-bucket histogram: bounds are finite upper bounds in
-// ascending order, observation v lands in the first bucket with v ≤ bound,
-// and one extra overflow bucket catches everything larger. A nil Histogram
-// is a no-op.
-type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Int64 // len(bounds)+1; last is overflow
-	count   atomic.Int64
-	sumBits atomic.Uint64
-}
-
-func newHistogram(bounds []float64) *Histogram {
-	b := make([]float64, len(bounds))
-	copy(b, bounds)
-	sort.Float64s(b)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
-
-// Count returns the number of observations (0 for a nil receiver).
-func (h *Histogram) Count() int64 {
-	if h == nil {
-		return 0
-	}
-	return h.count.Load()
-}
-
-// Sum returns the sum of all observed values (0 for a nil receiver).
-func (h *Histogram) Sum() float64 {
-	if h == nil {
-		return 0
-	}
-	return math.Float64frombits(h.sumBits.Load())
-}
-
-// Mean returns Sum/Count (0 when empty).
-func (h *Histogram) Mean() float64 {
-	n := h.Count()
-	if n == 0 {
-		return 0
-	}
-	return h.Sum() / float64(n)
-}
-
-// Timer records durations into a histogram, in seconds. A nil Timer is a
-// no-op.
-type Timer struct {
-	h *Histogram
-}
-
-// noop is shared so Start on a nil Timer allocates nothing.
-var noop = func() {}
-
-// Start begins timing and returns the stop function that records the
-// elapsed time.
-func (t *Timer) Start() func() {
-	if t == nil {
-		return noop
-	}
-	start := time.Now()
-	return func() { t.h.Observe(time.Since(start).Seconds()) }
-}
-
-// Observe records a duration directly.
-func (t *Timer) Observe(d time.Duration) {
-	if t == nil {
-		return
-	}
-	t.h.Observe(d.Seconds())
-}
-
-// Count returns the number of recorded durations.
-func (t *Timer) Count() int64 {
-	if t == nil {
-		return 0
-	}
-	return t.h.Count()
-}
-
-// Default bucket bounds.
-var (
-	// DefaultDurationBounds covers 1µs–10s exponentially, in seconds.
-	DefaultDurationBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
-	// DefaultSizeBounds covers small-integer sizes (set sizes, arc
-	// counts, frontier sizes) in powers of two.
-	DefaultSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}
-)
-
 // Registry is a named collection of metrics. Handles are created on first
 // use and shared thereafter; lookups take a mutex, so instrumented code
 // should fetch handles once (at Instrument time) and hold them, not look
 // them up per operation. A nil *Registry hands out nil handles, making
 // every downstream metric operation a no-op.
+//
+// Metric names must be lower_snake_case compile-time constants; the
+// mldcslint obssink analyzer enforces this.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
@@ -240,7 +161,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
-		c = &Counter{}
+		c = newCounter()
 		r.counters[name] = c
 	}
 	return c
@@ -262,10 +183,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given bucket
-// bounds if needed (DefaultSizeBounds when none are supplied). Bounds of
-// an existing histogram are not changed. Returns nil on a nil registry.
-func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+// Histogram returns the named histogram, creating it if needed. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -273,17 +193,14 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	defer r.mu.Unlock()
 	h := r.histograms[name]
 	if h == nil {
-		if len(bounds) == 0 {
-			bounds = DefaultSizeBounds
-		}
-		h = newHistogram(bounds)
+		h = newHistogram()
 		r.histograms[name] = h
 	}
 	return h
 }
 
-// Timer returns the named timer, creating it with DefaultDurationBounds if
-// needed. Returns nil on a nil registry.
+// Timer returns the named timer, creating it if needed. Returns nil on a
+// nil registry.
 func (r *Registry) Timer(name string) *Timer {
 	if r == nil {
 		return nil
@@ -292,19 +209,26 @@ func (r *Registry) Timer(name string) *Timer {
 	defer r.mu.Unlock()
 	t := r.timers[name]
 	if t == nil {
-		t = &Timer{h: newHistogram(DefaultDurationBounds)}
+		t = &Timer{h: newHistogram()}
 		r.timers[name] = t
 	}
 	return t
 }
 
 // HistogramSnapshot is the exported state of one histogram (or timer, in
-// seconds). Counts has one entry per bound plus a final overflow bucket.
+// seconds): totals plus the latency-percentile summary read off the
+// merged log-scale buckets. Quantiles carry the bucketing's relative
+// error (≤ ~6%, see histogram.go); Min and Max are exact.
 type HistogramSnapshot struct {
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // Snapshot is a point-in-time export of a registry. Maps marshal with
@@ -317,22 +241,10 @@ type Snapshot struct {
 	Timers     map[string]HistogramSnapshot `json:"timers"`
 }
 
-func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:  h.Count(),
-		Sum:    h.Sum(),
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: make([]int64, len(h.buckets)),
-	}
-	for i := range h.buckets {
-		s.Counts[i] = h.buckets[i].Load()
-	}
-	return s
-}
-
-// Snapshot exports the registry's current state. Individual metric reads
-// are atomic but the snapshot as a whole is not a consistent cut under
-// concurrent updates. Safe on a nil registry (returns an empty snapshot).
+// Snapshot exports the registry's current state, merging every sharded
+// metric. Individual shard reads are atomic but the snapshot as a whole
+// is not a consistent cut under concurrent updates. Safe on a nil
+// registry (returns an empty snapshot).
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   make(map[string]int64),

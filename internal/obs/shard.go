@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the assumed coherence-granule size. Striping metric cells
+// at this stride keeps two cores that increment the same metric from
+// ping-ponging one line between their caches.
+const cacheLine = 64
+
+// shardCount is the number of cells every sharded metric stripes its
+// state across: the power of two covering GOMAXPROCS at init, floored at
+// 8 so processes that raise GOMAXPROCS after package init (benchmarks
+// with -cpu, servers reconfigured at startup) still stripe, and capped at
+// 64 to bound per-metric memory. A power of two makes shard selection a
+// mask instead of a modulo.
+var shardCount = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p
+}()
+
+var shardMask = uint64(shardCount - 1)
+
+// cell64 is one cache-line-padded atomic counter cell. A []cell64 places
+// consecutive shards on distinct lines, so concurrent increments from
+// different goroutines (which hash to different shards) never contend on
+// the same line.
+type cell64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// shardIndex picks the calling goroutine's shard. Goroutine identity is
+// not observable from safe Go, so the index is derived from the address
+// of a stack variable: distinct goroutines run on distinct stacks, and
+// within one goroutine a tight instrumented loop re-enters the same
+// frame, so the choice is stable exactly where locality matters. The
+// multiply-shift hash spreads the allocator's aligned stack addresses
+// across shards. Stack growth can move a goroutine to another shard
+// mid-flight; that only redistributes load, never loses an update,
+// because every read merges all shards.
+func shardIndex() uint64 {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe)))
+	h *= 0x9E3779B97F4A7C15 // 2^64 / golden ratio
+	return (h >> 17) & shardMask
+}

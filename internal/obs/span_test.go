@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestSpanSampling checks the per-kind budget: the first limit spans are
+// emitted as begin/end pairs, later ones are counted but not traced.
+func TestSpanSampling(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewSpanTracer(sink, 3)
+	k := tr.Kind("op")
+	const total = 10
+	for i := 0; i < total; i++ {
+		sp := k.Begin()
+		wantSampled := i < 3
+		if sp.Sampled() != wantSampled {
+			t.Fatalf("span %d: Sampled = %v, want %v", i, sp.Sampled(), wantSampled)
+		}
+		sp.End(map[string]any{"i": i})
+	}
+	if got := k.Total(); got != total {
+		t.Errorf("Total = %d, want %d (past-budget spans still counted)", got, total)
+	}
+	if got := k.SampledCount(); got != 3 {
+		t.Errorf("SampledCount = %d, want 3", got)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		switch ev.Type {
+		case EventSpanBegin:
+			begins++
+		case EventSpanEnd:
+			ends++
+		default:
+			t.Fatalf("unexpected event type %q", ev.Type)
+		}
+		if ev.Fields["span"] != "op" {
+			t.Fatalf("span field = %v, want op", ev.Fields["span"])
+		}
+	}
+	if begins != 3 || ends != 3 {
+		t.Errorf("trace has %d begins / %d ends, want 3/3", begins, ends)
+	}
+}
+
+// TestSpanPairing checks begin/end ids pair up and carry End's fields.
+func TestSpanPairing(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewSpanTracer(sink, 0) // 0 → DefaultSpanLimit
+	k := tr.Kind("round")
+	sp := k.Begin()
+	sp.End(map[string]any{"transmitters": 4})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Type != EventSpanBegin || evs[1].Type != EventSpanEnd {
+		t.Fatalf("types = %q, %q", evs[0].Type, evs[1].Type)
+	}
+	if evs[0].Fields["id"] != evs[1].Fields["id"] {
+		t.Errorf("begin id %v != end id %v", evs[0].Fields["id"], evs[1].Fields["id"])
+	}
+	if evs[1].Fields["transmitters"] != float64(4) {
+		t.Errorf("end fields = %v, want transmitters 4", evs[1].Fields)
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Errorf("seq not increasing: %d then %d", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+// TestSpanConcurrent drives one kind from many goroutines; under -race
+// this proves the sampling path is data-race free, and the ids of
+// emitted spans must be exactly 1..limit.
+func TestSpanConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	const limit = 50
+	k := NewSpanTracer(sink, limit).Kind("op")
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k.Begin().End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := k.Total(); got != workers*per {
+		t.Errorf("Total = %d, want %d", got, workers*per)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[float64]int)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == EventSpanBegin {
+			ids[ev.Fields["id"].(float64)]++
+		}
+	}
+	if len(ids) != limit {
+		t.Fatalf("%d distinct sampled ids, want %d", len(ids), limit)
+	}
+	for id := 1; id <= limit; id++ {
+		if ids[float64(id)] != 1 {
+			t.Errorf("id %d emitted %d times, want once", id, ids[float64(id)])
+		}
+	}
+}
+
+// TestSpanNilNoop: a nil tracer, nil kind, and zero span are all no-ops.
+func TestSpanNilNoop(t *testing.T) {
+	tr := NewSpanTracer(nil, 10)
+	if tr != nil {
+		t.Fatal("nil sink must yield nil tracer")
+	}
+	k := tr.Kind("x")
+	if k != nil {
+		t.Fatal("nil tracer must yield nil kind")
+	}
+	sp := k.Begin()
+	if sp.Sampled() {
+		t.Error("nil kind's span must be unsampled")
+	}
+	sp.End(map[string]any{"a": 1})
+	if k.Total() != 0 || k.SampledCount() != 0 {
+		t.Error("nil kind must read as zero")
+	}
+	var zero Span
+	zero.End(nil)
+}

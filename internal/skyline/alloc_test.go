@@ -3,6 +3,8 @@ package skyline
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // Steady-state ComputeInto — a caller-held Scratch and a reused result
@@ -31,6 +33,38 @@ func TestComputeIntoSteadyStateAllocs(t *testing.T) {
 		}
 		if allocs != 0 {
 			t.Errorf("n=%d: steady-state ComputeInto allocated %.1f objects/run, want 0", n, allocs)
+		}
+	}
+}
+
+// Instrumented ComputeInto must stay allocation-free too: the sharded
+// counters, the compute timer (Stopwatch start/stop), and the arc-count
+// histogram all write to preallocated per-shard cells, so turning
+// metrics on costs atomics, never garbage. This is the contract that
+// lets mldcsim instrument production runs without touching the engine's
+// zero-alloc guarantee.
+func TestComputeIntoInstrumentedAllocs(t *testing.T) {
+	Instrument(obs.NewRegistry())
+	t.Cleanup(func() { Instrument(nil) })
+	rng := rand.New(rand.NewSource(604))
+	var sc Scratch
+	var dst Skyline
+	for _, n := range []int{3, 17, 64, 200} {
+		disks := randomLocalSet(rng, n)
+		var err error
+		for i := 0; i < 3; i++ {
+			if dst, err = sc.ComputeInto(dst, disks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			dst, err = sc.ComputeInto(dst, disks)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allocs != 0 {
+			t.Errorf("n=%d: instrumented ComputeInto allocated %.1f objects/run, want 0", n, allocs)
 		}
 	}
 }

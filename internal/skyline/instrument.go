@@ -81,7 +81,7 @@ func Instrument(r *obs.Registry) {
 		boundRatio:     r.Gauge(MetricArcBoundRatio),
 		violations:     r.Counter(MetricBoundViolations),
 		depth:          r.Gauge(MetricRecursionDepth),
-		arcs:           r.Histogram(MetricArcsPerCompute, obs.DefaultSizeBounds...),
+		arcs:           r.Histogram(MetricArcsPerCompute),
 		parWorkers:     r.Gauge(MetricParallelWorkers),
 		parSpawned:     r.Counter(MetricParallelSpawned),
 		parSequential:  r.Counter(MetricParallelSequential),

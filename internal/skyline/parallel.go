@@ -32,9 +32,9 @@ func ComputeParallel(disks []geom.Disk, workers int) (Skyline, error) {
 	}
 	m.computes.Inc()
 	m.parWorkers.Set(float64(workers))
-	stop := m.computeSeconds.Start()
+	sw := m.computeSeconds.Start()
 	sl := computeParallel(disks, 0, len(disks), depth, m, 1)
-	stop()
+	sw.Stop()
 	m.recordCompute(len(sl), len(disks))
 	return sl, nil
 }

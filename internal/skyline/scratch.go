@@ -96,9 +96,9 @@ func (sc *Scratch) viewUnchecked(disks []geom.Disk) Skyline {
 		return sc.compute(disks, 0, len(disks), nil, 1)
 	}
 	m.computes.Inc()
-	stop := m.computeSeconds.Start()
+	sw := m.computeSeconds.Start()
 	sl := sc.compute(disks, 0, len(disks), m, 1)
-	stop()
+	sw.Stop()
 	m.recordCompute(len(sl), len(disks))
 	return sl
 }
