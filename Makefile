@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-skyline bench-smoke bench-check cover fuzz fuzz-smoke lint lint-eps experiments examples clean
+.PHONY: all build test race bench bench-skyline bench-smoke bench-check cover fuzz fuzz-smoke lint lint-eps e2e e2e-smoke experiments examples clean
 
 # The longitudinal benchmark history: every `make bench` / `make
 # bench-skyline` run appends its report here (with git SHA, cores,
@@ -81,6 +81,17 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzMergeAgainstNaive -fuzztime=10s ./internal/skyline/
 	go test -run='^$$' -fuzz=FuzzSelectorInvariants -fuzztime=10s ./internal/forwarding/
 	go test -run='^$$' -fuzz=FuzzEngineVsSequential -fuzztime=10s ./internal/engine/
+
+# Chaos e2e harness for the mldcsd service: seeded action streams against
+# a live server, drained and checked byte-for-byte against the sequential
+# oracle, plus the banked-regression-seed replay and the mutation
+# sensitivity gate. See docs/TESTING.md ("Chaos e2e harness").
+e2e:
+	scripts/e2e/harness.sh full
+
+# CI budget: fewer/shorter fresh seeds, same bank replay and mutation gate.
+e2e-smoke:
+	scripts/e2e/harness.sh smoke
 
 # Full paper reproduction (the 200-replication suite) + extensions.
 experiments:

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServeDrainExit boots the real command on an ephemeral port,
+// feeds it one batch, queries it, then delivers SIGTERM and expects a
+// clean drain: exit 0 with the listener gone.
+func TestRunServeDrainExit(t *testing.T) {
+	// Capture stderr to learn the resolved address.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = oldStderr }()
+
+	sigs := make(chan os.Signal, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code = run([]string{"-addr", "127.0.0.1:0", "-queue", "8"}, sigs)
+	}()
+
+	// Read stderr until the serving line appears.
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var acc string
+		re := regexp.MustCompile(`serving on (\S+)`)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				acc += string(buf[:n])
+				if m := re.FindStringSubmatch(acc); m != nil {
+					select {
+					case addrCh <- m[1]:
+					default:
+					}
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/deltas", "application/json",
+		strings.NewReader(`{"deltas":[{"op":"join","node":5,"x":0,"y":0,"r":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 202 {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wait for convergence, then confirm the query surface.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		er, err := http.Get(base + "/v1/epoch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ep struct {
+			AppliedSeq  uint64 `json:"applied_seq"`
+			AcceptedSeq uint64 `json:"accepted_seq"`
+		}
+		if err := json.NewDecoder(er.Body).Decode(&ep); err != nil {
+			t.Fatal(err)
+		}
+		er.Body.Close()
+		if ep.AppliedSeq >= ep.AcceptedSeq && ep.AppliedSeq > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	qr, err := http.Get(base + "/v1/forwarding?node=5")
+	if err != nil || qr.StatusCode != 200 {
+		t.Fatalf("query: %v %v", qr.StatusCode, err)
+	}
+	qr.Body.Close()
+
+	sigs <- syscall.SIGTERM
+	wg.Wait()
+	w.Close()
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still up after drain")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	oldStderr := os.Stderr
+	devnull, _ := os.Open(os.DevNull)
+	os.Stderr = devnull
+	defer func() { os.Stderr = oldStderr; devnull.Close() }()
+	if code := run([]string{"-definitely-not-a-flag"}, make(chan os.Signal, 1)); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.256.256.256:1"}, make(chan os.Signal, 1)); code != 1 {
+		t.Fatalf("bad addr exit = %d, want 1", code)
+	}
+}

@@ -17,13 +17,11 @@
 package main
 
 import (
-	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -32,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/httpserve"
 	"repro/internal/obs/expo"
 )
 
@@ -236,7 +235,7 @@ func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err erro
 		}
 	}
 	mldcs.Instrument(reg, sink)
-	var srv *http.Server
+	var srv *httpserve.Server
 	if pprofAddr != "" {
 		srv, err = startDebugServer(pprofAddr, reg)
 		if err != nil {
@@ -245,11 +244,9 @@ func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err erro
 	}
 	return func() {
 		if srv != nil {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			if err := srv.Shutdown(ctx); err != nil {
+			if err := srv.Shutdown(5 * time.Second); err != nil {
 				fmt.Fprintln(os.Stderr, "mldcsim: shutting down debug server:", err)
 			}
-			cancel()
 		}
 		if sink != nil {
 			if err := sink.Flush(); err != nil {
@@ -276,10 +273,11 @@ func setupObs(metricsOut, eventsPath, pprofAddr string) (finish func(), err erro
 // never the defaults, which would leak the handlers to any library that
 // also uses them and could not be shut down. Routes: /debug/pprof/*,
 // /debug/vars (expvar, incl. the live registry under mldcs_metrics),
-// /metrics (Prometheus text exposition), and /healthz. The listener is
-// opened synchronously so a bad address fails before the run; the caller
-// shuts the server down via (*http.Server).Shutdown.
-func startDebugServer(addr string, reg *mldcs.MetricsRegistry) (*http.Server, error) {
+// /metrics (Prometheus text exposition), and /healthz. Listen/shutdown
+// semantics come from internal/httpserve (shared with mldcsd): the bind
+// is synchronous so a bad address fails before the run, and the caller
+// shuts the server down via (*httpserve.Server).Shutdown.
+func startDebugServer(addr string, reg *mldcs.MetricsRegistry) (*httpserve.Server, error) {
 	// Publish the live registry for /debug/vars readers. expvar panics on
 	// duplicate names, so re-runs inside one process (tests) must skip it.
 	if expvar.Get("mldcs_metrics") == nil {
@@ -294,22 +292,12 @@ func startDebugServer(addr string, reg *mldcs.MetricsRegistry) (*http.Server, er
 	mux.Handle("/debug/vars", expvar.Handler())
 	expo.Mount(mux, reg)
 
-	ln, err := net.Listen("tcp", addr)
+	srv, err := httpserve.Start(addr, mux)
 	if err != nil {
 		return nil, fmt.Errorf("debug server: %w", err)
 	}
-	srv := &http.Server{
-		Addr:              ln.Addr().String(), // resolved address, useful with ":0"
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-	}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "mldcsim: debug server:", err)
-		}
-	}()
 	fmt.Fprintf(os.Stderr, "mldcsim: serving debug endpoints on %s (/debug/pprof, /debug/vars, /metrics, /healthz)\n",
-		ln.Addr())
+		srv.Addr())
 	return srv, nil
 }
 

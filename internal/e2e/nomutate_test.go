@@ -1,0 +1,9 @@
+//go:build !mldcsmutate
+
+package e2e
+
+// mutationActive mirrors the engine's mutateForwarding build tag so the
+// chaos tests can tell which build they are in: the normal suite must
+// skip under the mutation tag (divergence is then expected), and
+// TestMutationCaught only compiles with it.
+const mutationActive = false

@@ -73,7 +73,18 @@ type Stats struct {
 // slices are fresh per snapshot; the per-node sub-slices are shared with
 // the engine (and with later snapshots for nodes that did not change) and
 // must not be modified.
+//
+// A Result is immutable once returned, so it may be published (e.g.
+// through an atomic.Pointer) and read concurrently while the engine keeps
+// computing — this is the epoch-snapshot read path mldcsd serves queries
+// from. Later passes replace per-node sub-slices, never write through
+// them, so an old snapshot stays internally consistent forever.
 type Result struct {
+	// Epoch numbers the pass that produced this snapshot: 1 for the first
+	// successful Compute, incremented by every later Compute or Update.
+	// Two snapshots with the same Epoch are identical; a reader holding a
+	// sequence of snapshots can assert monotonicity.
+	Epoch uint64
 	// Forwarding[u] holds the sorted IDs of u's forwarding set: the
 	// neighbors whose disks contribute arcs to u's skyline (the paper's
 	// relay set, mldcs.Result.NeighborCover mapped to node IDs).
@@ -99,6 +110,9 @@ type Engine struct {
 	nbrs  [][]int
 	cache *skyCache
 	stats Stats
+	// epoch counts successful Compute/Update passes; snapshot stamps it
+	// into Result.Epoch.
+	epoch uint64
 	// fallbacks counts degeneracy fallbacks within the current pass;
 	// atomic because computeNode runs on the worker pool.
 	fallbacks atomic.Int64
@@ -157,6 +171,7 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 	e.fallbacks.Store(0)
 
 	if len(nodes) == 0 {
+		e.epoch++
 		return e.snapshot(), nil
 	}
 	cell := e.cfg.CellSize
@@ -204,6 +219,7 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 		e.stats.Edges += len(nb)
 	}
 
+	e.epoch++
 	if m != nil {
 		m.recordCompute(e.stats, time.Since(start), e.cache)
 	}
@@ -223,6 +239,7 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 // sub-slices stay consistent.
 func (e *Engine) snapshot() *Result {
 	return &Result{
+		Epoch:      e.epoch,
 		Forwarding: append([][]int(nil), e.fwd...),
 		HubInCover: append([]bool(nil), e.hubIn...),
 		Neighbors:  append([][]int(nil), e.nbrs...),
@@ -379,6 +396,7 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		if ent, ok := shard.get(sc.key); ok {
 			sc.hits++
 			sc.fwdBuf = appendMappedCover(sc.fwdBuf[:0], ent.canon, sc.tuples)
+			sc.fwdBuf = mutateForwarding(sc.fwdBuf, u)
 			e.fwd[u] = keepInts(e.fwd[u], sc.fwdBuf)
 			e.hubIn[u] = ent.hubIn
 			if nodeSpan.Sampled() {
@@ -420,6 +438,7 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		sc.canon = append(sc.canon, int32(i-1))
 	}
 	sc.fwdBuf = appendMappedCover(sc.fwdBuf[:0], sc.canon, sc.tuples)
+	sc.fwdBuf = mutateForwarding(sc.fwdBuf, u)
 	e.fwd[u] = keepInts(e.fwd[u], sc.fwdBuf)
 	e.hubIn[u] = hubIn
 	if shard != nil {

@@ -114,6 +114,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	for _, nb := range e.nbrs {
 		e.stats.Edges += len(nb)
 	}
+	e.epoch++
 	if m != nil {
 		m.recordUpdate(e.stats, time.Since(start), e.cache)
 	}

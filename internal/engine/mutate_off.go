@@ -1,0 +1,12 @@
+//go:build !mldcsmutate
+
+package engine
+
+// Mutation testing hook. The default build compiles the hook away; the
+// `mldcsmutate` build tag (mutate_on.go) swaps in a deliberate forwarding
+// bug so the system-level harnesses can demonstrate they would catch one.
+// See docs/TESTING.md ("Mutation sensitivity").
+const mutationEnabled = false
+
+// mutateForwarding is the identity in production builds.
+func mutateForwarding(fwd []int, u int) []int { return fwd }

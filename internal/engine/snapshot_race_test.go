@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// TestSnapshotConsistencyUnderUpdate is the epoch-snapshot contract test:
+// a single writer hammers Update while reader goroutines consume published
+// *Result snapshots through an atomic pointer — exactly the publication
+// pattern mldcsd serves queries with. Every snapshot a reader observes
+// must be internally consistent (all per-node slices from one pass, sane
+// shapes, forwarding ⊆ neighbors) and epochs must be monotonic per
+// reader. Run under -race this also proves snapshots are never written
+// through by later passes.
+func TestSnapshotConsistencyUnderUpdate(t *testing.T) {
+	const (
+		n       = 120
+		ticks   = 150
+		readers = 4
+	)
+	rng := rand.New(rand.NewSource(7))
+	nodes := make([]network.Node, n)
+	for i := range nodes {
+		nodes[i] = network.Node{
+			ID:     i,
+			Pos:    geom.Pt(rng.Float64()*6, rng.Float64()*6),
+			Radius: 0.5 + rng.Float64(),
+		}
+	}
+	e := New(Config{Cache: true})
+	first, err := e.Compute(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Epoch != 1 {
+		t.Fatalf("first Compute epoch = %d, want 1", first.Epoch)
+	}
+
+	var latest atomic.Pointer[Result]
+	latest.Store(first)
+	var stop atomic.Bool
+
+	checkSnapshot := func(r *Result) {
+		if len(r.Forwarding) != n || len(r.Neighbors) != n || len(r.HubInCover) != n {
+			t.Errorf("epoch %d: slice lengths %d/%d/%d, want %d",
+				r.Epoch, len(r.Forwarding), len(r.Neighbors), len(r.HubInCover), n)
+			return
+		}
+		if r.Stats.Nodes != n {
+			t.Errorf("epoch %d: Stats.Nodes = %d, want %d", r.Epoch, r.Stats.Nodes, n)
+		}
+		for u := 0; u < n; u++ {
+			nbrs := r.Neighbors[u]
+			j := 0
+			for _, f := range r.Forwarding[u] {
+				for j < len(nbrs) && nbrs[j] < f {
+					j++
+				}
+				if j >= len(nbrs) || nbrs[j] != f {
+					t.Errorf("epoch %d node %d: forwarder %d not a neighbor of %v",
+						r.Epoch, u, f, nbrs)
+					return
+				}
+			}
+			if len(r.Forwarding[u]) == 0 && len(nbrs) > 0 {
+				// A connected neighborhood always needs at least one relay
+				// or the hub covering everything itself.
+				if !r.HubInCover[u] {
+					t.Errorf("epoch %d node %d: no forwarders, hub not in cover, %d neighbors",
+						r.Epoch, u, len(nbrs))
+					return
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			for !stop.Load() {
+				r := latest.Load()
+				if r.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", r.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = r.Epoch
+				checkSnapshot(r)
+			}
+		}()
+	}
+
+	// Writer: random small moves plus occasional radius changes, the same
+	// churn the mobility ingest path produces.
+	wrng := rand.New(rand.NewSource(8))
+	for tick := 0; tick < ticks; tick++ {
+		moved := 1 + wrng.Intn(8)
+		for k := 0; k < moved; k++ {
+			u := wrng.Intn(n)
+			nodes[u].Pos.X += (wrng.Float64() - 0.5) * 0.4
+			nodes[u].Pos.Y += (wrng.Float64() - 0.5) * 0.4
+			if wrng.Intn(4) == 0 {
+				nodes[u].Radius = 0.5 + wrng.Float64()
+			}
+		}
+		res, err := e.Update(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint64(tick) + 2; res.Epoch != want {
+			t.Fatalf("tick %d: epoch = %d, want %d", tick, res.Epoch, want)
+		}
+		latest.Store(res)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// The engine's own view agrees with the last published snapshot.
+	if got := e.Result().Epoch; got != uint64(ticks)+1 {
+		t.Fatalf("final epoch = %d, want %d", got, ticks+1)
+	}
+}
+
+// TestMutationHookDisabled pins the production build: the mldcsmutate tag
+// must never leak into a normal compile.
+func TestMutationHookDisabled(t *testing.T) {
+	if mutationEnabled {
+		t.Fatal("mutationEnabled is true in a default build; the mldcsmutate tag must not be set outside mutation-sensitivity runs")
+	}
+	fwd := []int{1, 2, 3}
+	if got := mutateForwarding(fwd, 5); len(got) != 3 {
+		t.Fatalf("mutateForwarding changed a forwarding set in a default build: %v", got)
+	}
+}

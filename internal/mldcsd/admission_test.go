@@ -1,0 +1,178 @@
+package mldcsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Admission-control contract (satellite of ISSUE 7): a bounded queue
+// accepts while it has room, sheds with 429 + Retry-After when full, and
+// a draining server refuses new ingest with 503 while still answering
+// queries and applying what it already accepted.
+//
+// The applier is held on a gate after dequeuing its first batch, so
+// "queue depth" is exact: with QueueDepth = 4, one batch sits gated in
+// the applier and four fit in the channel; the sixth accept must shed.
+func TestAdmissionControlTable(t *testing.T) {
+	const depth = 4
+	validBatch := func(i int) string {
+		return fmt.Sprintf(`{"deltas":[{"op":"join","node":%d,"x":%d,"y":0,"r":1}]}`, i, i)
+	}
+
+	cases := []struct {
+		name string
+		// prefill is how many batches to accept before the probe (the
+		// first one parks in the gated applier).
+		prefill int
+		drain   bool
+		// wantStatus for the probe ingest.
+		wantStatus int
+		wantRetry  bool
+	}{
+		{name: "empty queue accepts", prefill: 0, wantStatus: 202},
+		{name: "half-full queue accepts", prefill: 1 + depth/2, wantStatus: 202},
+		{name: "nearly full accepts the last slot", prefill: depth, wantStatus: 202},
+		{name: "full queue sheds with retry-after", prefill: 1 + depth, wantStatus: 429, wantRetry: true},
+		{name: "draining refuses ingest", prefill: 2, drain: true, wantStatus: 503, wantRetry: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gate := make(chan struct{})
+			released := false
+			release := func() {
+				if !released {
+					close(gate)
+					released = true
+				}
+			}
+			defer release()
+			s := New(Config{QueueDepth: depth, applyGate: func() { <-gate }})
+			ts := httptest.NewServer(s.Handler())
+			defer func() {
+				release()
+				ts.Close()
+				s.Close()
+			}()
+
+			for i := 0; i < tc.prefill; i++ {
+				resp := postBatch(t, ts.URL, validBatch(i))
+				if resp.StatusCode != 202 {
+					t.Fatalf("prefill %d = %d, want 202", i, resp.StatusCode)
+				}
+				resp.Body.Close()
+				if i == 0 {
+					// Make sure the applier has dequeued batch 0 and is
+					// parked on the gate before counting channel slots.
+					waitQueueLen(t, s, 0)
+				}
+			}
+			if tc.drain {
+				s.BeginDrain()
+			}
+
+			resp := postBatch(t, ts.URL, validBatch(1000))
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("probe = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if tc.wantRetry {
+				if ra := resp.Header.Get("Retry-After"); ra == "" {
+					t.Fatal("missing Retry-After header")
+				}
+			}
+
+			// Queries are served at full queues and while draining alike:
+			// reads come from the published snapshot, not the queue.
+			for _, path := range []string{"/v1/epoch", "/v1/state", "/healthz"} {
+				qr, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Fatalf("GET %s during backlog: %v", path, err)
+				}
+				if qr.StatusCode != 200 {
+					t.Fatalf("GET %s = %d during backlog", path, qr.StatusCode)
+				}
+				qr.Body.Close()
+			}
+
+			// Release the applier: everything accepted must still apply —
+			// draining refuses new work, never drops admitted work.
+			release()
+			accepted := s.AcceptedSeq()
+			waitApplied(t, s, accepted)
+			var ep EpochResponse
+			qr, err := http.Get(ts.URL + "/v1/epoch")
+			if err != nil {
+				t.Fatal(err)
+			}
+			decodeInto(t, qr, &ep)
+			if ep.AppliedSeq != accepted {
+				t.Fatalf("applied %d of %d accepted batches", ep.AppliedSeq, accepted)
+			}
+			if tc.drain && !ep.Draining {
+				t.Fatal("epoch doc does not report draining")
+			}
+		})
+	}
+}
+
+func waitQueueLen(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue len = %d, want %d", len(s.queue), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDrainCompletesInflightQueries pins the second half of the drain
+// contract end to end: a query started before BeginDrain finishes with
+// 200 even though ingest is already refused.
+func TestDrainCompletesInflightQueries(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	resp := postBatch(t, ts.URL, `{"deltas":[{"op":"join","node":1,"x":0,"y":0,"r":1}]}`)
+	var ack IngestResponse
+	decodeInto(t, resp, &ack)
+	waitApplied(t, s, ack.Seq)
+
+	s.BeginDrain()
+
+	// New ingest refused…
+	resp = postBatch(t, ts.URL, `{"deltas":[{"op":"join","node":2,"x":1,"y":0,"r":1}]}`)
+	if resp.StatusCode != 503 {
+		t.Fatalf("ingest while draining = %d, want 503", resp.StatusCode)
+	}
+	var ed errorDoc
+	if err := json.NewDecoder(resp.Body).Decode(&ed); err != nil || !strings.Contains(ed.Error, "draining") {
+		t.Fatalf("draining error doc = %+v, %v", ed, err)
+	}
+	resp.Body.Close()
+
+	// …but queries complete against the converged state.
+	qr, err := http.Get(ts.URL + "/v1/forwarding?node=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qr.Body.Close()
+	if qr.StatusCode != 200 {
+		t.Fatalf("query while draining = %d, want 200", qr.StatusCode)
+	}
+	var q QueryResponse
+	if err := json.NewDecoder(qr.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Node != 1 {
+		t.Fatalf("query doc = %+v", q)
+	}
+}

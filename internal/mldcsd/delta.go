@@ -1,0 +1,146 @@
+package mldcsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta ops accepted on the wire. The vocabulary is exactly the mobility
+// events the paper's §5.1.1 maintenance argument covers: a node moves, a
+// node appears, a node disappears, a node retunes its transmission power.
+const (
+	OpJoin   = "join"   // upsert a node with position and radius
+	OpMove   = "move"   // reposition an existing node
+	OpRadius = "radius" // change an existing node's transmission radius
+	OpLeave  = "leave"  // remove a node
+)
+
+// Delta is one mobility event. Coordinate fields are pointers so the
+// decoder can tell "absent" from "zero" and reject under-specified
+// events instead of silently defaulting them.
+type Delta struct {
+	Op   string   `json:"op"`
+	Node int64    `json:"node"`
+	X    *float64 `json:"x,omitempty"`
+	Y    *float64 `json:"y,omitempty"`
+	R    *float64 `json:"r,omitempty"`
+}
+
+// Batch is the ingest wire format: one POST /v1/deltas body.
+type Batch struct {
+	Deltas []Delta `json:"deltas"`
+}
+
+// DecodeBatch parses and validates one delta batch from r. It is strict
+// by design — this is the service's untrusted input edge, and the fuzz
+// target (FuzzDeltaDecode) holds it to "reject, never panic":
+//
+//   - the body must be exactly one JSON object with no unknown fields and
+//     no trailing data;
+//   - every delta needs a known op and a non-negative node ID;
+//   - join requires finite x, y and a positive finite r; move requires
+//     finite x, y and no r; radius requires a positive finite r and no
+//     x/y; leave takes no coordinates — extra fields for the op are
+//     rejected, not ignored;
+//   - two joins for the same node in one batch are rejected (the batch
+//     would be order-ambiguous to a reader);
+//   - empty batches and batches over maxDeltas are rejected.
+//
+// NaN and ±Inf cannot be produced by JSON number literals, but values
+// like 1e999 decode errors and any future non-JSON transport could smuggle
+// them, so finiteness is checked explicitly rather than assumed.
+func DecodeBatch(r io.Reader, maxDeltas int) (Batch, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var b Batch
+	if err := dec.Decode(&b); err != nil {
+		return Batch{}, fmt.Errorf("decode batch: %w", err)
+	}
+	// Reject trailing data: "{...}{...}" or "{...}garbage" is a framing
+	// bug on the client, not a second batch.
+	if _, err := dec.Token(); err != io.EOF {
+		return Batch{}, fmt.Errorf("decode batch: trailing data after batch object")
+	}
+	if len(b.Deltas) == 0 {
+		return Batch{}, fmt.Errorf("decode batch: empty batch")
+	}
+	if len(b.Deltas) > maxDeltas {
+		return Batch{}, fmt.Errorf("decode batch: %d deltas exceeds the %d per-batch limit", len(b.Deltas), maxDeltas)
+	}
+	var joined map[int64]bool
+	for i, d := range b.Deltas {
+		if err := validateDelta(d); err != nil {
+			return Batch{}, fmt.Errorf("delta %d: %w", i, err)
+		}
+		if d.Op == OpJoin {
+			if joined[d.Node] {
+				return Batch{}, fmt.Errorf("delta %d: duplicate join for node %d in one batch", i, d.Node)
+			}
+			if joined == nil {
+				joined = make(map[int64]bool)
+			}
+			joined[d.Node] = true
+		}
+	}
+	return b, nil
+}
+
+func validateDelta(d Delta) error {
+	if d.Node < 0 {
+		return fmt.Errorf("negative node ID %d", d.Node)
+	}
+	switch d.Op {
+	case OpJoin:
+		if err := needFinite("x", d.X); err != nil {
+			return err
+		}
+		if err := needFinite("y", d.Y); err != nil {
+			return err
+		}
+		return needPositive("r", d.R)
+	case OpMove:
+		if d.R != nil {
+			return fmt.Errorf("move carries r (use a radius delta)")
+		}
+		if err := needFinite("x", d.X); err != nil {
+			return err
+		}
+		return needFinite("y", d.Y)
+	case OpRadius:
+		if d.X != nil || d.Y != nil {
+			return fmt.Errorf("radius carries coordinates (use a move delta)")
+		}
+		return needPositive("r", d.R)
+	case OpLeave:
+		if d.X != nil || d.Y != nil || d.R != nil {
+			return fmt.Errorf("leave carries coordinates")
+		}
+		return nil
+	case "":
+		return fmt.Errorf("missing op")
+	default:
+		return fmt.Errorf("unknown op %q", d.Op)
+	}
+}
+
+func needFinite(name string, v *float64) error {
+	if v == nil {
+		return fmt.Errorf("missing %s", name)
+	}
+	if math.IsNaN(*v) || math.IsInf(*v, 0) {
+		return fmt.Errorf("non-finite %s %v", name, *v)
+	}
+	return nil
+}
+
+func needPositive(name string, v *float64) error {
+	if err := needFinite(name, v); err != nil {
+		return err
+	}
+	if !(*v > 0) {
+		return fmt.Errorf("non-positive %s %v", name, *v)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package mldcsd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postBatch(t *testing.T, base string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/deltas", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// waitApplied polls until the published snapshot has folded seq in.
+func waitApplied(t *testing.T, s *Server, seq uint64) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sn := s.Latest()
+		if sn.AppliedSeq >= seq {
+			return sn
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seq %d not applied (at %d)", seq, sn.AppliedSeq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerIngestQueryLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{Registry: obs.NewRegistry()})
+
+	// A 3-node line: 10—11—12, where the ends only hear the middle.
+	resp := postBatch(t, ts.URL, `{"deltas":[
+		{"op":"join","node":11,"x":0,"y":0,"r":1.5},
+		{"op":"join","node":10,"x":-1,"y":0,"r":1.5},
+		{"op":"join","node":12,"x":1,"y":0,"r":1.5}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	var ack IngestResponse
+	decodeInto(t, resp, &ack)
+	sn := waitApplied(t, s, ack.Seq)
+	if sn.Epoch == 0 || len(sn.IDs) != 3 {
+		t.Fatalf("snapshot epoch=%d ids=%v", sn.Epoch, sn.IDs)
+	}
+
+	var q QueryResponse
+	resp, err := http.Get(ts.URL + "/v1/forwarding?node=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("forwarding = %d", resp.StatusCode)
+	}
+	decodeInto(t, resp, &q)
+	if len(q.Neighbors) != 1 || q.Neighbors[0] != 11 {
+		t.Fatalf("node 10 neighbors = %v, want [11]", q.Neighbors)
+	}
+	// Node 11's forwarding set must relay through both ends' disks or its
+	// own; at minimum the response is internally consistent.
+	resp, err = http.Get(ts.URL + "/v1/forwarding?node=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &q)
+	for _, f := range q.Forwarding {
+		if f != 10 && f != 12 {
+			t.Fatalf("node 11 forwards through non-neighbor %d", f)
+		}
+	}
+
+	// Unknown and malformed node queries.
+	resp, _ = http.Get(ts.URL + "/v1/forwarding?node=99")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown node = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(ts.URL + "/v1/forwarding?node=banana")
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad node param = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Skyline of the middle node tiles [0, 2π].
+	var sky SkylineResponse
+	resp, err = http.Get(ts.URL + "/v1/skyline?node=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &sky)
+	if len(sky.Arcs) == 0 {
+		t.Fatal("empty skyline")
+	}
+	if sky.Arcs[0].Start != 0 || sky.Arcs[len(sky.Arcs)-1].End < 6.28 {
+		t.Fatalf("skyline does not tile [0,2π]: %+v", sky.Arcs)
+	}
+
+	// Mobility: move node 12 out of range, then query again.
+	resp = postBatch(t, ts.URL, `{"deltas":[{"op":"move","node":12,"x":50,"y":50}]}`)
+	decodeInto(t, resp, &ack)
+	waitApplied(t, s, ack.Seq)
+	resp, _ = http.Get(ts.URL + "/v1/forwarding?node=12")
+	decodeInto(t, resp, &q)
+	if len(q.Neighbors) != 0 {
+		t.Fatalf("moved-away node still has neighbors %v", q.Neighbors)
+	}
+
+	// Leave shrinks the state doc.
+	resp = postBatch(t, ts.URL, `{"deltas":[{"op":"leave","node":12}]}`)
+	decodeInto(t, resp, &ack)
+	waitApplied(t, s, ack.Seq)
+	var doc StateDoc
+	resp, err = http.Get(ts.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &doc)
+	if len(doc.Nodes) != 2 || doc.Nodes[0].ID != 10 || doc.Nodes[1].ID != 11 {
+		t.Fatalf("state after leave = %+v", doc.Nodes)
+	}
+
+	// Health and metrics surfaces answer on the same mux.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{MetricIngestBatches, MetricQueueDepth, MetricEpoch} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestServerMalformedIngest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"truncated", `{"deltas":[{"op":"join","no`, 400},
+		{"empty batch", `{"deltas":[]}`, 400},
+		{"unknown op", `{"deltas":[{"op":"teleport","node":1,"x":0,"y":0}]}`, 400},
+		{"missing radius", `{"deltas":[{"op":"join","node":1,"x":0,"y":0}]}`, 400},
+		{"negative radius", `{"deltas":[{"op":"join","node":1,"x":0,"y":0,"r":-2}]}`, 400},
+		{"unknown field", `{"deltas":[{"op":"join","node":1,"x":0,"y":0,"r":1,"vx":3}]}`, 400},
+		{"trailing garbage", `{"deltas":[{"op":"leave","node":1}]}{"deltas":[]}`, 400},
+		{"not json", `hello`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postBatch(t, ts.URL, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+	// Oversized bodies answer 413.
+	huge := `{"deltas":[` + strings.Repeat(`{"op":"leave","node":1},`, 40000)
+	huge = huge[:len(huge)-1] + `]}`
+	resp := postBatch(t, ts.URL, huge)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge && resp.StatusCode != 400 {
+		t.Fatalf("huge body = %d, want 413/400", resp.StatusCode)
+	}
+}
+
+// TestServerEpochMonotonic pins the read contract: epochs only move
+// forward, and applied_seq tracks accepted_seq after a drain.
+func TestServerEpochMonotonic(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var last uint64
+	var lastSeq uint64
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"deltas":[{"op":"join","node":%d,"x":%d,"y":0,"r":1}]}`, i, i)
+		resp := postBatch(t, ts.URL, body)
+		var ack IngestResponse
+		decodeInto(t, resp, &ack)
+		if ack.Seq <= lastSeq {
+			t.Fatalf("seq not increasing: %d after %d", ack.Seq, lastSeq)
+		}
+		lastSeq = ack.Seq
+		sn := waitApplied(t, s, ack.Seq)
+		if sn.Epoch < last {
+			t.Fatalf("epoch went backwards: %d after %d", sn.Epoch, last)
+		}
+		last = sn.Epoch
+	}
+	var ep EpochResponse
+	resp, err := http.Get(ts.URL + "/v1/epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &ep)
+	if ep.AppliedSeq != lastSeq || ep.AcceptedSeq != lastSeq || ep.Nodes != 20 {
+		t.Fatalf("epoch doc = %+v", ep)
+	}
+}

@@ -1,0 +1,110 @@
+package mldcsd
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+)
+
+// world is the authoritative node membership, keyed by the client-visible
+// external node ID. The engine wants dense 0..n−1 IDs; world owns the
+// mapping: dense index i ↔ the i-th smallest live external ID. Only the
+// applier goroutine touches a world, so it needs no locking.
+//
+// Apply semantics are total — a batch that decoded cleanly always
+// applies, so an accepted (202) ingest can never fail later:
+//
+//   - join   upserts: absent nodes appear, present nodes take the new
+//     position and radius (a client re-announcing after a server restart
+//     is a join storm; upsert makes that idempotent);
+//   - move / radius on an absent node are ignored and counted (the node
+//     left under a racing batch — last-writer-wins, not an error);
+//   - leave of an absent node is ignored and counted.
+//
+// The offline oracle (internal/e2e) replays the same rules; any drift
+// between this file and the oracle is exactly what the chaos harness
+// exists to catch.
+type world struct {
+	nodes map[int64]nodeState
+	// ids is the sorted live external-ID list, the dense mapping. Rebuilt
+	// only when membership changes.
+	ids      []int64
+	idsStale bool
+}
+
+type nodeState struct {
+	x, y, r float64
+}
+
+func newWorld() *world {
+	return &world{nodes: make(map[int64]nodeState)}
+}
+
+// apply folds one decoded batch into the world. It reports whether
+// membership changed (forcing a full engine Compute instead of an
+// incremental Update) and how many deltas were ignored.
+func (w *world) apply(b Batch) (membershipChanged bool, ignored int) {
+	for _, d := range b.Deltas {
+		switch d.Op {
+		case OpJoin:
+			if _, ok := w.nodes[d.Node]; !ok {
+				membershipChanged = true
+				w.idsStale = true
+			}
+			w.nodes[d.Node] = nodeState{x: *d.X, y: *d.Y, r: *d.R}
+		case OpMove:
+			st, ok := w.nodes[d.Node]
+			if !ok {
+				ignored++
+				continue
+			}
+			st.x, st.y = *d.X, *d.Y
+			w.nodes[d.Node] = st
+		case OpRadius:
+			st, ok := w.nodes[d.Node]
+			if !ok {
+				ignored++
+				continue
+			}
+			st.r = *d.R
+			w.nodes[d.Node] = st
+		case OpLeave:
+			if _, ok := w.nodes[d.Node]; !ok {
+				ignored++
+				continue
+			}
+			delete(w.nodes, d.Node)
+			membershipChanged = true
+			w.idsStale = true
+		}
+	}
+	return membershipChanged, ignored
+}
+
+// sortedIDs returns the dense mapping: the sorted live external IDs.
+// The returned slice is owned by the world; callers snapshot it.
+func (w *world) sortedIDs() []int64 {
+	if w.idsStale || w.ids == nil {
+		w.ids = w.ids[:0]
+		for id := range w.nodes {
+			w.ids = append(w.ids, id)
+		}
+		sort.Slice(w.ids, func(i, j int) bool { return w.ids[i] < w.ids[j] })
+		w.idsStale = false
+	}
+	return w.ids
+}
+
+// denseNodes renders the world as the engine's input: nodes with dense
+// IDs in sorted-external-ID order. A fresh slice per call — the engine
+// copies it, and snapshots keep their own.
+func (w *world) denseNodes() []network.Node {
+	ids := w.sortedIDs()
+	out := make([]network.Node, len(ids))
+	for i, id := range ids {
+		st := w.nodes[id]
+		out[i] = network.Node{ID: i, Pos: geom.Pt(st.x, st.y), Radius: st.r}
+	}
+	return out
+}

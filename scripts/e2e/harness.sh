@@ -1,0 +1,41 @@
+#!/bin/sh
+# Chaos e2e driver for the mldcsd service. See docs/TESTING.md ("Chaos
+# e2e harness") for the seed format and how to reproduce a banked seed.
+#
+# Usage:
+#   scripts/e2e/harness.sh smoke      # CI budget: few seeds + bank replay + mutation gate
+#   scripts/e2e/harness.sh full       # local soak: 25 seeds + bank replay + mutation gate
+#   scripts/e2e/harness.sh replay     # banked regression seeds only
+#   scripts/e2e/harness.sh mutation   # mutation sensitivity gate only
+#   E2E_SEEDS=100 scripts/e2e/harness.sh full   # env knobs pass through
+
+set -eu
+cd "$(dirname "$0")/../.."
+. scripts/e2e/chaos_lib.sh
+
+mode="${1:-smoke}"
+e2e_prepare_logs
+
+case "$mode" in
+smoke)
+    e2e_run_seeds "${E2E_SEEDS:-6}" "${E2E_ACTIONS:-120}"
+    e2e_replay_bank
+    e2e_mutation_gate
+    ;;
+full)
+    e2e_run_seeds "${E2E_SEEDS:-25}" "${E2E_ACTIONS:-160}"
+    e2e_replay_bank
+    e2e_mutation_gate
+    ;;
+replay)
+    e2e_replay_bank
+    ;;
+mutation)
+    e2e_mutation_gate
+    ;;
+*)
+    echo "usage: $0 [smoke|full|replay|mutation]" >&2
+    exit 2
+    ;;
+esac
+echo "chaos: $mode OK"
