@@ -12,12 +12,16 @@
 //	    entries and append them (make bench / make bench-skyline do this).
 //
 //	benchdiff -check -trajectory results/BENCH_trajectory.jsonl [-threshold 1.30]
-//	    For every configuration key (source, workload, nodes, cores,
-//	    workers), compare the most recent entry against the median of its
-//	    predecessors and exit non-zero if it is more than threshold×
-//	    slower. The trajectory — not a single run — is the regression
-//	    gate: one noisy historical run cannot flip the verdict, and runs
-//	    from machines with different core counts never compare.
+//	    For every configuration key (source, workload, nodes, num_cpu,
+//	    gomaxprocs, workers), compare the most recent entry against the
+//	    median of its predecessors and exit non-zero if it is more than
+//	    threshold× slower. The trajectory — not a single run — is the
+//	    regression gate: one noisy historical run cannot flip the verdict,
+//	    and runs from machines with different core counts or a different
+//	    GOMAXPROCS clamp never compare. (Older lines carry the legacy
+//	    single "cores" field, which conflated the two; it stays part of
+//	    the key, so legacy and current lines form disjoint groups instead
+//	    of silently comparing.)
 package main
 
 import (
@@ -36,14 +40,21 @@ import (
 // latency: whole-network engine wall time for engine entries, per-call
 // ComputeInto time for skyline entries.
 type entry struct {
-	TS            string  `json:"ts,omitempty"`
-	SHA           string  `json:"sha,omitempty"`
-	Source        string  `json:"source"`
-	Workload      string  `json:"workload"`
-	Nodes         int     `json:"nodes"`
-	Cores         int     `json:"cores"`
+	TS     string `json:"ts,omitempty"`
+	SHA    string `json:"sha,omitempty"`
+	Source string `json:"source"`
+
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	// Cores is the legacy machine descriptor (conflated NumCPU with
+	// GOMAXPROCS); retained so old trajectory lines round-trip and key
+	// separately from current ones.
+	Cores         int     `json:"cores,omitempty"`
+	NumCPU        int     `json:"num_cpu,omitempty"`
+	Gomaxprocs    int     `json:"gomaxprocs,omitempty"`
 	Workers       int     `json:"workers"`
 	MS            float64 `json:"ms"`
+	TickP99MS     float64 `json:"tick_p99_ms,omitempty"`
 	SequentialMS  float64 `json:"sequential_ms,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
@@ -54,26 +65,31 @@ type entry struct {
 }
 
 // key is the comparison unit: entries only ever compare within the same
-// workload shape on the same machine class.
+// workload shape on the same machine class under the same parallelism
+// cap. Legacy entries (Cores set, NumCPU/Gomaxprocs zero) and current
+// ones (the reverse) can never collide.
 type key struct {
-	Source   string
-	Workload string
-	Nodes    int
-	Cores    int
-	Workers  int
+	Source     string
+	Workload   string
+	Nodes      int
+	Cores      int
+	NumCPU     int
+	Gomaxprocs int
+	Workers    int
 }
 
 func (e entry) key() key {
-	return key{e.Source, e.Workload, e.Nodes, e.Cores, e.Workers}
+	return key{e.Source, e.Workload, e.Nodes, e.Cores, e.NumCPU, e.Gomaxprocs, e.Workers}
 }
 
 // engineReport mirrors the BENCH_engine.json schema written by
 // TestEngineBenchReport.
 type engineReport struct {
-	Nodes     int `json:"nodes"`
-	Cores     int `json:"cores"`
-	Workers   int `json:"workers"`
-	Workloads []struct {
+	Nodes      int `json:"nodes"`
+	NumCPU     int `json:"num_cpu"`
+	Gomaxprocs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	Workloads  []struct {
 		Workload      string  `json:"workload"`
 		Nodes         int     `json:"nodes"`
 		Workers       int     `json:"workers"`
@@ -86,13 +102,21 @@ type engineReport struct {
 		NodeP99US     float64 `json:"node_p99_us"`
 		NodeP999US    float64 `json:"node_p999_us"`
 	} `json:"workloads"`
+	Update []struct {
+		Workload  string  `json:"workload"`
+		Nodes     int     `json:"nodes"`
+		Workers   int     `json:"workers"`
+		TickP50MS float64 `json:"tick_p50_ms"`
+		TickP99MS float64 `json:"tick_p99_ms"`
+	} `json:"update"`
 }
 
 // skylineReport mirrors the BENCH_skyline.json schema written by
 // TestSkylineBenchReport.
 type skylineReport struct {
-	Cores int `json:"cores"`
-	Sizes []struct {
+	NumCPU     int `json:"num_cpu"`
+	Gomaxprocs int `json:"gomaxprocs"`
+	Sizes      []struct {
 		N                 int     `json:"n"`
 		ComputeIntoNsOp   float64 `json:"compute_into_ns_op"`
 		ComputeIntoAllocs float64 `json:"compute_into_allocs_op"`
@@ -210,7 +234,8 @@ func engineEntries(path, sha, ts string) ([]entry, error) {
 			Source:        "engine",
 			Workload:      w.Workload,
 			Nodes:         w.Nodes,
-			Cores:         rep.Cores,
+			NumCPU:        rep.NumCPU,
+			Gomaxprocs:    rep.Gomaxprocs,
 			Workers:       w.Workers,
 			MS:            w.EngineMS,
 			SequentialMS:  w.SequentialMS,
@@ -220,6 +245,21 @@ func engineEntries(path, sha, ts string) ([]entry, error) {
 			NodeP90US:     w.NodeP90US,
 			NodeP99US:     w.NodeP99US,
 			NodeP999US:    w.NodeP999US,
+		})
+	}
+	// Update rows gate on the median tick (MS = tick_p50_ms); the p99 tail
+	// rides along for inspection.
+	for _, u := range rep.Update {
+		out = append(out, entry{
+			TS: ts, SHA: sha,
+			Source:     "engine",
+			Workload:   u.Workload,
+			Nodes:      u.Nodes,
+			NumCPU:     rep.NumCPU,
+			Gomaxprocs: rep.Gomaxprocs,
+			Workers:    u.Workers,
+			MS:         u.TickP50MS,
+			TickP99MS:  u.TickP99MS,
 		})
 	}
 	return out, nil
@@ -238,12 +278,13 @@ func skylineEntries(path, sha, ts string) ([]entry, error) {
 	for _, s := range rep.Sizes {
 		out = append(out, entry{
 			TS: ts, SHA: sha,
-			Source:   "skyline",
-			Workload: fmt.Sprintf("compute_into/n=%d", s.N),
-			Nodes:    s.N,
-			Cores:    rep.Cores,
-			Workers:  1,
-			MS:       s.ComputeIntoNsOp / 1e6,
+			Source:     "skyline",
+			Workload:   fmt.Sprintf("compute_into/n=%d", s.N),
+			Nodes:      s.N,
+			NumCPU:     rep.NumCPU,
+			Gomaxprocs: rep.Gomaxprocs,
+			Workers:    1,
+			MS:         s.ComputeIntoNsOp / 1e6,
 		})
 	}
 	return out, nil
@@ -289,8 +330,8 @@ func check(trajectory string, threshold float64, stdout io.Writer) (int, error) 
 		es := groups[k]
 		latest := es[len(es)-1]
 		if len(es) < 2 {
-			fmt.Fprintf(stdout, "SKIP %s/%s nodes=%d cores=%d workers=%d: only one run, no baseline\n",
-				k.Source, k.Workload, k.Nodes, k.Cores, k.Workers)
+			fmt.Fprintf(stdout, "SKIP %s/%s nodes=%d %s workers=%d: only one run, no baseline\n",
+				k.Source, k.Workload, k.Nodes, machine(k), k.Workers)
 			continue
 		}
 		base := median(es[:len(es)-1])
@@ -299,11 +340,20 @@ func check(trajectory string, threshold float64, stdout io.Writer) (int, error) 
 			verdict = "REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(stdout, "%s %s/%s nodes=%d cores=%d workers=%d: latest %.3fms vs median %.3fms (%d prior, %.2fx)\n",
-			verdict, k.Source, k.Workload, k.Nodes, k.Cores, k.Workers,
+		fmt.Fprintf(stdout, "%s %s/%s nodes=%d %s workers=%d: latest %.3fms vs median %.3fms (%d prior, %.2fx)\n",
+			verdict, k.Source, k.Workload, k.Nodes, machine(k), k.Workers,
 			latest.MS, base, len(es)-1, latest.MS/base)
 	}
 	return regressions, nil
+}
+
+// machine renders a key's machine descriptor: legacy lines only carried
+// the conflated "cores" field, current ones carry num_cpu + gomaxprocs.
+func machine(k key) string {
+	if k.NumCPU == 0 && k.Gomaxprocs == 0 {
+		return fmt.Sprintf("cores=%d", k.Cores)
+	}
+	return fmt.Sprintf("num_cpu=%d gomaxprocs=%d", k.NumCPU, k.Gomaxprocs)
 }
 
 // median returns the median MS of the entries (callers guarantee at least

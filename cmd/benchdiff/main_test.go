@@ -96,6 +96,29 @@ func TestCheckGroupsByConfig(t *testing.T) {
 	}
 }
 
+// TestCheckLegacyCoresNeverCompare: old trajectory lines carry the
+// conflated "cores" field, current ones carry num_cpu + gomaxprocs; even
+// with every other key field equal they must form disjoint groups, so a
+// slow first run under the new schema is a fresh baseline, not a
+// regression against legacy history.
+func TestCheckLegacyCoresNeverCompare(t *testing.T) {
+	traj := filepath.Join(t.TempDir(), "traj.jsonl")
+	current := baseEntry(400)
+	current.Cores = 0
+	current.NumCPU, current.Gomaxprocs = 1, 1
+	writeLines(t, traj, []entry{baseEntry(50), baseEntry(52), current})
+	var out bytes.Buffer
+	if code := run([]string{"-check", "-trajectory", traj}, &out, io.Discard); code != 0 {
+		t.Fatalf("exit = %d, want 0 (legacy and current lines are different groups)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP engine/uniform-random nodes=100000 num_cpu=1 gomaxprocs=1") {
+		t.Errorf("current-schema group must be a fresh baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok engine/uniform-random nodes=100000 cores=1") {
+		t.Errorf("legacy group must keep its cores= label:\n%s", out.String())
+	}
+}
+
 // TestCheckSingleEntryPasses: a freshly seeded trajectory has no baseline
 // and must pass.
 func TestCheckSingleEntryPasses(t *testing.T) {
@@ -130,7 +153,7 @@ func TestAppendFromReports(t *testing.T) {
 	traj := filepath.Join(dir, "results", "traj.jsonl")
 
 	engineJSON := `{
-  "nodes": 100000, "cores": 1, "workers": 1,
+  "nodes": 100000, "num_cpu": 8, "gomaxprocs": 4, "workers": 1,
   "workloads": [
     {"workload": "uniform-random", "nodes": 100000, "workers": 1,
      "sequential_ms": 1768.1, "engine_ms": 1652.1, "speedup": 1.07,
@@ -138,10 +161,17 @@ func TestAppendFromReports(t *testing.T) {
     {"workload": "grid-homogeneous", "nodes": 100000, "workers": 1,
      "sequential_ms": 956.4, "engine_ms": 151.8, "speedup": 6.3,
      "cache_hit_ratio": 0.99}
+  ],
+  "update": [
+    {"workload": "update-repair", "nodes": 100000, "workers": 1,
+     "moved_per_tick": 1001, "ticks": 40, "tick_p50_ms": 4.2, "tick_p99_ms": 9.8,
+     "speedup_p50": 3.1},
+    {"workload": "update-recompute", "nodes": 100000, "workers": 1,
+     "moved_per_tick": 1001, "ticks": 40, "tick_p50_ms": 13.0, "tick_p99_ms": 21.5}
   ]
 }`
 	skyJSON := `{
-  "cores": 1,
+  "num_cpu": 8, "gomaxprocs": 4,
   "sizes": [
     {"n": 16, "compute_into_ns_op": 17006, "compute_into_allocs_op": 0},
     {"n": 1024, "compute_into_ns_op": 1597902, "compute_into_allocs_op": 0}
@@ -162,7 +192,7 @@ func TestAppendFromReports(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("append exit = %d", code)
 	}
-	if !strings.Contains(out.String(), "appended 4 entries") {
+	if !strings.Contains(out.String(), "appended 6 entries") {
 		t.Errorf("append output = %q", out.String())
 	}
 
@@ -180,8 +210,8 @@ func TestAppendFromReports(t *testing.T) {
 		}
 		entries = append(entries, e)
 	}
-	if len(entries) != 4 {
-		t.Fatalf("trajectory has %d entries, want 4", len(entries))
+	if len(entries) != 6 {
+		t.Fatalf("trajectory has %d entries, want 6", len(entries))
 	}
 	if entries[0].Source != "engine" || entries[0].MS != 1652.1 || entries[0].SHA != "abc1234" {
 		t.Errorf("engine entry = %+v", entries[0])
@@ -189,10 +219,22 @@ func TestAppendFromReports(t *testing.T) {
 	if entries[0].NodeP99US != 36.2 {
 		t.Errorf("engine entry p99 = %g, want 36.2", entries[0].NodeP99US)
 	}
-	if entries[2].Source != "skyline" || entries[2].Workload != "compute_into/n=16" {
-		t.Errorf("skyline entry = %+v", entries[2])
+	if entries[0].NumCPU != 8 || entries[0].Gomaxprocs != 4 || entries[0].Cores != 0 {
+		t.Errorf("engine entry machine fields = %+v", entries[0])
 	}
-	if got, want := entries[2].MS, 17006.0/1e6; got != want {
+	if entries[2].Workload != "update-repair" || entries[2].MS != 4.2 || entries[2].TickP99MS != 9.8 {
+		t.Errorf("update entry = %+v", entries[2])
+	}
+	if entries[3].Workload != "update-recompute" || entries[3].MS != 13.0 {
+		t.Errorf("update entry = %+v", entries[3])
+	}
+	if entries[4].Source != "skyline" || entries[4].Workload != "compute_into/n=16" {
+		t.Errorf("skyline entry = %+v", entries[4])
+	}
+	if entries[4].NumCPU != 8 || entries[4].Gomaxprocs != 4 {
+		t.Errorf("skyline entry machine fields = %+v", entries[4])
+	}
+	if got, want := entries[4].MS, 17006.0/1e6; got != want {
 		t.Errorf("skyline ms = %g, want %g", got, want)
 	}
 

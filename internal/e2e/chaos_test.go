@@ -41,7 +41,11 @@ func runConfig(seed int64) SeedConfig {
 // forever after.
 func runAndMaybeBank(t *testing.T, cfg SeedConfig, logDir string, bankable bool) {
 	t.Helper()
-	logPath := filepath.Join(logDir, fmt.Sprintf("seed_%d.jsonl", cfg.Seed))
+	logName := fmt.Sprintf("seed_%d.jsonl", cfg.Seed)
+	if cfg.Profile != "" {
+		logName = fmt.Sprintf("seed_%s_%d.jsonl", cfg.Profile, cfg.Seed)
+	}
+	logPath := filepath.Join(logDir, logName)
 	logf, err := os.Create(logPath)
 	if err != nil {
 		t.Fatalf("log file: %v", err)
@@ -80,6 +84,37 @@ func TestChaosSeeds(t *testing.T) {
 	}
 	for i := 0; i < seeds; i++ {
 		cfg := runConfig(base + int64(i))
+		t.Run(fmt.Sprintf("seed_%d", cfg.Seed), func(t *testing.T) {
+			t.Parallel()
+			runAndMaybeBank(t, cfg, logDir, true)
+		})
+	}
+}
+
+// TestChaosMobilitySeeds runs the pure-mobility-heavy stream shape: almost
+// every delta is a small slide of an existing node, so the server's engine
+// spends the run on its kinetic repair path and the byte-for-byte oracle
+// comparison pins repaired skylines against the offline sequential
+// recompute. Seeds are offset from the mixed-churn run's so a failure
+// banks a distinct entry.
+func TestChaosMobilitySeeds(t *testing.T) {
+	if mutationActive {
+		t.Skip("engine mutation build: only TestMutationCaught is meaningful")
+	}
+	seeds := envInt("E2E_SEEDS", 8)
+	if testing.Short() {
+		seeds = 3
+	}
+	base := int64(envInt("E2E_BASE_SEED", 1))
+	logDir := os.Getenv("E2E_LOG_DIR")
+	if logDir == "" {
+		logDir = t.TempDir()
+	} else if err := os.MkdirAll(logDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seeds; i++ {
+		cfg := runConfig(base + int64(i))
+		cfg.Profile = ProfileMobility
 		t.Run(fmt.Sprintf("seed_%d", cfg.Seed), func(t *testing.T) {
 			t.Parallel()
 			runAndMaybeBank(t, cfg, logDir, true)
@@ -154,7 +189,7 @@ func bankSeed(t *testing.T, cfg SeedConfig, cause error) {
 		return
 	}
 	for _, s := range bank.Seeds {
-		if s.Seed == cfg.Seed && s.Nodes == cfg.Nodes && s.Actions == cfg.Actions {
+		if s.Seed == cfg.Seed && s.Nodes == cfg.Nodes && s.Actions == cfg.Actions && s.Profile == cfg.Profile {
 			return
 		}
 	}

@@ -23,9 +23,19 @@ type SeedConfig struct {
 	Seed    int64  `json:"seed"`
 	Nodes   int    `json:"nodes"`   // initial network size
 	Actions int    `json:"actions"` // driver actions after the initial join storm
+	Profile string `json:"profile,omitempty"`
 	Note    string `json:"note,omitempty"`
 	Banked  string `json:"banked,omitempty"` // date the seed was banked (regression file only)
 }
+
+// ProfileMobility is the pure-mobility-heavy stream shape: batches are
+// almost all small moves of existing nodes, with joins/leaves rare. It
+// keeps the server's engine on its kinetic repair path (most dirty nodes
+// did not themselves move, one neighbor drifted a little), so the
+// byte-for-byte oracle comparison exercises repaired skylines, not
+// recomputed ones. The zero value of Profile is the original mixed
+// churn.
+const ProfileMobility = "mobility"
 
 // Model is the harness's intended world: what the server must converge
 // to once every accepted batch has applied. It mirrors the mldcsd apply
@@ -84,6 +94,7 @@ type generator struct {
 	model    *Model
 	side     float64 // deployment square side
 	restarts int     // restarts remaining
+	profile  string  // stream shape (ProfileMobility or "")
 }
 
 func newGenerator(cfg SeedConfig) *generator {
@@ -91,6 +102,7 @@ func newGenerator(cfg SeedConfig) *generator {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		model:    &Model{Nodes: make(map[int64]ModelNode)},
 		restarts: 2,
+		profile:  cfg.Profile,
 	}
 	// Size the square for a mean degree around 8 with radii ~1: the
 	// regime where forwarding sets are non-trivial but networks stay
@@ -148,12 +160,21 @@ func (g *generator) next() action {
 // model: moves, radius retunes, joins, leaves, and a tail of deltas
 // aimed at absent nodes (the ignored path must converge too).
 func (g *generator) randomBatch(k int) mldcsd.Batch {
+	// Per-profile delta mix (cumulative thresholds over q) and move step.
+	// The mobility profile drowns churn in small slides: almost every
+	// delta nudges an existing node, so the server's engine sees ticks
+	// where most dirty nodes did not move themselves — the kinetic repair
+	// regime — while the rare join/leave keeps the churn paths honest.
+	moveQ, radiusQ, joinQ, leaveQ, step := 0.50, 0.65, 0.80, 0.92, 0.6
+	if g.profile == ProfileMobility {
+		moveQ, radiusQ, joinQ, leaveQ, step = 0.88, 0.92, 0.955, 0.975, 0.2
+	}
 	var b mldcsd.Batch
 	joinedHere := map[int64]bool{}
 	for len(b.Deltas) < k {
 		q := g.rng.Float64()
 		switch {
-		case q < 0.50: // move an existing node a step
+		case q < moveQ: // move an existing node a step
 			id, ok := g.pick()
 			if !ok {
 				b.Deltas = append(b.Deltas, g.joinDelta(g.model.NextID))
@@ -162,17 +183,17 @@ func (g *generator) randomBatch(k int) mldcsd.Batch {
 				continue
 			}
 			st := g.model.peek(id, b)
-			x := st.X + (g.rng.Float64()-0.5)*0.6
-			y := st.Y + (g.rng.Float64()-0.5)*0.6
+			x := st.X + (g.rng.Float64()-0.5)*step
+			y := st.Y + (g.rng.Float64()-0.5)*step
 			b.Deltas = append(b.Deltas, mldcsd.Delta{Op: mldcsd.OpMove, Node: id, X: &x, Y: &y})
-		case q < 0.65: // retune a radius
+		case q < radiusQ: // retune a radius
 			id, ok := g.pick()
 			if !ok {
 				continue
 			}
 			r := 0.5 + g.rng.Float64()
 			b.Deltas = append(b.Deltas, mldcsd.Delta{Op: mldcsd.OpRadius, Node: id, R: &r})
-		case q < 0.80: // join a brand-new node
+		case q < joinQ: // join a brand-new node
 			id := g.model.NextID
 			if joinedHere[id] {
 				continue
@@ -180,7 +201,7 @@ func (g *generator) randomBatch(k int) mldcsd.Batch {
 			b.Deltas = append(b.Deltas, g.joinDelta(id))
 			joinedHere[id] = true
 			g.model.NextID++
-		case q < 0.92: // leave
+		case q < leaveQ: // leave
 			id, ok := g.pick()
 			if !ok {
 				continue

@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/geom"
 	"repro/internal/mldcs"
 	"repro/internal/mobility"
 	"repro/internal/network"
@@ -111,6 +113,34 @@ func BenchmarkEngineUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineUpdateKinetic measures one pure-mobility tick (≈1% of
+// nodes drift by ≤2% of their own radius) with the kinetic repair path on
+// and off — the microbenchmark behind the report's update section.
+func BenchmarkEngineUpdateKinetic(b *testing.B) {
+	const n = 20000
+	nodes, _, err := benchDeployment(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		b.Run(fmt.Sprintf("repair=%v", !disable), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			cur := append([]network.Node(nil), nodes...)
+			e := New(Config{Workers: 1, DisableRepair: disable})
+			if _, err := e.Compute(cur); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				smallMoveStep(rng, cur, 1+n/100, 0.02)
+				if _, err := e.Update(cur); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchReportEntry is one workload's row in BENCH_engine.json. The
 // node_p* fields are the per-node skyline recompute latency distribution
 // (in microseconds) observed across the workload's engine passes — the
@@ -162,12 +192,19 @@ func TestEngineBenchReport(t *testing.T) {
 		workers = v
 	}
 
+	// num_cpu (the machine's core count) and gomaxprocs (the Go scheduler's
+	// parallelism cap) are recorded separately: the old single "cores" field
+	// conflated them, which made runs under a GOMAXPROCS clamp (cgroup
+	// limits, taskset, GOMAXPROCS=n) silently comparable to full-machine
+	// runs in the trajectory.
 	report := struct {
-		Nodes     int                `json:"nodes"`
-		Cores     int                `json:"cores"`
-		Workers   int                `json:"workers"`
-		Workloads []benchReportEntry `json:"workloads"`
-	}{Nodes: n, Cores: runtime.NumCPU(), Workers: workers}
+		Nodes      int                `json:"nodes"`
+		NumCPU     int                `json:"num_cpu"`
+		Gomaxprocs int                `json:"gomaxprocs"`
+		Workers    int                `json:"workers"`
+		Workloads  []benchReportEntry `json:"workloads"`
+		Update     []benchUpdateEntry `json:"update"`
+	}{Nodes: n, NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Workers: workers}
 
 	// Uniform random workload: the parallel speedup story.
 	nodes, _, err := benchDeployment(n, 1)
@@ -187,6 +224,23 @@ func TestEngineBenchReport(t *testing.T) {
 	}
 	report.Workloads = append(report.Workloads, benchWorkload(t, "grid-homogeneous", grid, workers))
 
+	// Update workload: a pure-mobility tick stream (≈1% of nodes drift a
+	// little each tick) replayed twice from identical precomputed move
+	// scripts — once with kinetic repair, once with DisableRepair — so the
+	// two rows differ only in the Update strategy.
+	ticks := 40
+	movedPerTick := 1 + n/100
+	scripts := benchUpdateScripts(nodes, ticks, movedPerTick, 3)
+	repair := benchUpdateRun(t, "update-repair", nodes, scripts, workers, false)
+	recomp := benchUpdateRun(t, "update-recompute", nodes, scripts, workers, true)
+	if repair.TickP50MS > 0 {
+		repair.SpeedupP50 = recomp.TickP50MS / repair.TickP50MS
+	}
+	if repair.TickP99MS > 0 {
+		repair.SpeedupP99 = recomp.TickP99MS / repair.TickP99MS
+	}
+	report.Update = append(report.Update, repair, recomp)
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +248,7 @@ func TestEngineBenchReport(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (n=%d, cores=%d)", out, n, report.Cores)
+	t.Logf("wrote %s (n=%d, num_cpu=%d, gomaxprocs=%d)", out, n, report.NumCPU, report.Gomaxprocs)
 }
 
 // benchPasses is how many interleaved sequential/engine passes each
@@ -258,4 +312,102 @@ func benchWorkload(t *testing.T, name string, nodes []network.Node, workers int)
 		e.CacheHitRatio = float64(e.CacheHits) / float64(total)
 	}
 	return e
+}
+
+// benchUpdateEntry is one row of the report's update section: tick-latency
+// quantiles for a pure-mobility Update stream under one repair strategy.
+// speedup_p50/p99 are filled only on the repair row (repair vs recompute on
+// the identical move script).
+type benchUpdateEntry struct {
+	Workload        string  `json:"workload"`
+	Nodes           int     `json:"nodes"`
+	Workers         int     `json:"workers"`
+	MovedPerTick    int     `json:"moved_per_tick"`
+	Ticks           int     `json:"ticks"`
+	TickP50MS       float64 `json:"tick_p50_ms"`
+	TickP99MS       float64 `json:"tick_p99_ms"`
+	Repaired        int     `json:"repaired"`
+	Recomputed      int     `json:"recomputed"`
+	RepairFallbacks int     `json:"repair_fallbacks"`
+	SpeedupP50      float64 `json:"speedup_p50,omitempty"`
+	SpeedupP99      float64 `json:"speedup_p99,omitempty"`
+}
+
+// moveOp is one scripted displacement: node idx ends the tick at pos. The
+// scripts carry absolute positions (the random walk is simulated once up
+// front), so replaying them against two engines yields bit-identical node
+// states regardless of replay order or strategy.
+type moveOp struct {
+	idx int
+	pos geom.Point
+}
+
+// benchUpdateScripts precomputes ticks' worth of small-move mobility:
+// each tick, moved random nodes drift by at most 2% of their own radius.
+func benchUpdateScripts(nodes []network.Node, ticks, moved int, seed int64) [][]moveOp {
+	rng := rand.New(rand.NewSource(seed))
+	cur := append([]network.Node(nil), nodes...)
+	scripts := make([][]moveOp, ticks)
+	for t := range scripts {
+		ops := make([]moveOp, moved)
+		for i := range ops {
+			u := rng.Intn(len(cur))
+			step := 0.02 * cur[u].Radius
+			cur[u].Pos.X += (rng.Float64()*2 - 1) * step
+			cur[u].Pos.Y += (rng.Float64()*2 - 1) * step
+			ops[i] = moveOp{idx: u, pos: cur[u].Pos}
+		}
+		scripts[t] = ops
+	}
+	return scripts
+}
+
+// benchUpdateRun replays the move scripts against one engine configuration
+// and reports tick-latency quantiles plus the accumulated kinetic counters.
+func benchUpdateRun(t *testing.T, name string, nodes []network.Node, scripts [][]moveOp, workers int, disableRepair bool) benchUpdateEntry {
+	t.Helper()
+	cur := append([]network.Node(nil), nodes...)
+	e := New(Config{Workers: workers, DisableRepair: disableRepair})
+	if _, err := e.Compute(cur); err != nil {
+		t.Fatal(err)
+	}
+	entry := benchUpdateEntry{
+		Workload: name,
+		Nodes:    len(nodes),
+		Workers:  workers,
+		Ticks:    len(scripts),
+	}
+	ticksMS := make([]float64, 0, len(scripts))
+	for _, ops := range scripts {
+		if entry.MovedPerTick == 0 {
+			entry.MovedPerTick = len(ops)
+		}
+		for _, op := range ops {
+			cur[op.idx].Pos = op.pos
+		}
+		start := time.Now()
+		res, err := e.Update(cur)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticksMS = append(ticksMS, float64(elapsed.Microseconds())/1000)
+		entry.Repaired += res.Stats.Repaired
+		entry.Recomputed += res.Stats.Recomputed
+		entry.RepairFallbacks += res.Stats.RepairFallbacks
+	}
+	sort.Float64s(ticksMS)
+	entry.TickP50MS = benchQuantile(ticksMS, 0.50)
+	entry.TickP99MS = benchQuantile(ticksMS, 0.99)
+	return entry
+}
+
+// benchQuantile reads quantile q from an ascending-sorted slice
+// (nearest-rank; good enough for a 40-sample tick distribution).
+func benchQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }

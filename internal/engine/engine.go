@@ -46,6 +46,12 @@ type Config struct {
 	// maximum transmission radius, which bounds every neighbor query to a
 	// 3×3 cell window.
 	CellSize float64
+	// DisableRepair turns off the kinetic repair fast path: every dirty
+	// node in Update recomputes its skyline from scratch, as the engine
+	// did before repair existed. For benchmarking (the BENCH_engine.json
+	// update section measures repair against exactly this baseline) and
+	// for bisecting a suspected repair bug in production.
+	DisableRepair bool
 }
 
 // Stats summarizes one Compute or Update pass.
@@ -67,6 +73,18 @@ type Stats struct {
 	// were given the always-correct full local set instead — a degenerate
 	// input degrades to a bigger forwarding set, never a wrong one.
 	Fallbacks int
+	// Kinetic accounting, Update-only (zero on a full Compute). Every
+	// dirty node is either Repaired (its cached skyline was patched in
+	// place by arc surgery) or Recomputed (full skyline recompute: the
+	// node itself moved, its kinetic state was invalid, the neighborhood
+	// diff was too large, or a repair was abandoned). RepairFallbacks
+	// counts the abandoned repairs — an envelope tie or a tripped
+	// invariant mid-surgery — which recompute and are also in Recomputed.
+	// Distinct from Fallbacks: a repair fallback falls back to the normal
+	// full compute, not to the degenerate full-local-set answer.
+	Repaired        int
+	Recomputed      int
+	RepairFallbacks int
 }
 
 // Result is a snapshot of the engine's per-node output. The top-level
@@ -116,11 +134,41 @@ type Engine struct {
 	// fallbacks counts degeneracy fallbacks within the current pass;
 	// atomic because computeNode runs on the worker pool.
 	fallbacks atomic.Int64
+	// Kinetic per-pass counters, same worker-pool atomicity story.
+	repaired   atomic.Int64
+	recomputed atomic.Int64
+	repairFB   atomic.Int64
+	// kin holds each node's kinetic state — the hub-frame disk list and
+	// skyline the last full compute produced — which Update's repair path
+	// patches in place instead of recomputing. Entry u is only ever
+	// touched by the worker that owns node u in the current pass.
+	kin []kinState
 	// Update's diff buffers, reused across calls so a steady mobility loop
 	// does not re-allocate the moved/dirty bookkeeping every step.
-	updMoved []int
-	updDirty []bool
-	updList  []int
+	updMoved     []int
+	updDirty     []bool
+	updList      []int
+	updMovedMark []bool
+	// updCand[v] lists the moved nodes that may have changed v's link set
+	// this pass (possibly with duplicates): filled alongside the dirty
+	// marking, consumed by updateNode's repair gather — which therefore
+	// never needs a grid query — and reset entry-wise after the pass.
+	updCand [][]int
+}
+
+// kinState is one node's cached kinetic state: the neighbor IDs parallel
+// to disks[1:] (disks[0] is the hub's own disk), and the skyline over
+// disks. The ID order starts canonical (the compute's tuple order) and is
+// scrambled by swap-compaction as neighbors depart; only the parallel
+// correspondence matters. valid is false whenever the cached pair cannot
+// be trusted: before the first compute, after a cache-hit replay or a
+// degeneracy fallback (neither computes a skyline), or mid-abandoned
+// repair.
+type kinState struct {
+	valid bool
+	ids   []int
+	disks []geom.Disk
+	sl    skyline.Skyline
 }
 
 // checkInvariants is the runtime envelope check computeNode applies to
@@ -169,6 +217,16 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 	e.grid = nil
 	e.stats = Stats{Nodes: len(nodes)}
 	e.fallbacks.Store(0)
+	// Invalidate (but keep) the kinetic state: per-node buffers persist
+	// across passes so a steady Compute/Update cadence stays allocation-free.
+	if cap(e.kin) >= len(nodes) {
+		e.kin = e.kin[:len(nodes)]
+		for i := range e.kin {
+			e.kin[i].valid = false
+		}
+	} else {
+		e.kin = make([]kinState, len(nodes))
+	}
 
 	if len(nodes) == 0 {
 		e.epoch++
@@ -320,6 +378,15 @@ type scratch struct {
 	hits       int64           // cache counters, flushed once per worker
 	misses     int64
 	bypass     bool // adaptive cache bypass tripped this pass
+	// Kinetic repair buffers (see kinetic.go): neighborhood diff lists,
+	// the sorted copy of the cached neighbor IDs the diff searches, and
+	// the skyline the repair surgery ping-pongs through.
+	lost    []int
+	gained  []int
+	movedNb []int
+	oldIDs  []int
+	cands   []int
+	ksl     skyline.Skyline
 }
 
 // ownCanon returns a copy of sc.canon that outlives the scratch, carved
@@ -395,6 +462,10 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		shard = e.cache.shard(sc.key)
 		if ent, ok := shard.get(sc.key); ok {
 			sc.hits++
+			// A replayed entry carries no skyline, so the kinetic state
+			// cannot be refreshed; repair for this node resumes after its
+			// next full compute.
+			e.kin[u].valid = false
 			sc.fwdBuf = appendMappedCover(sc.fwdBuf[:0], ent.canon, sc.tuples)
 			sc.fwdBuf = mutateForwarding(sc.fwdBuf, u)
 			e.fwd[u] = keepInts(e.fwd[u], sc.fwdBuf)
@@ -426,6 +497,20 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 			nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "fallback": true})
 		}
 		return nil
+	}
+	if !e.cfg.DisableRepair {
+		// Seed the kinetic state for Update's repair path: the neighbor IDs
+		// in tuple (canonical) order, parallel to disks[1:], plus the
+		// freshly verified skyline. append-into keeps the steady path free
+		// of allocations once the per-node buffers are warm.
+		st := &e.kin[u]
+		st.ids = st.ids[:0]
+		for i := range sc.tuples {
+			st.ids = append(st.ids, sc.tuples[i].id)
+		}
+		st.disks = append(st.disks[:0], sc.disks...)
+		st.sl = append(st.sl[:0], sc.sl...)
+		st.valid = true
 	}
 	sc.cover = sc.sl.AppendSet(sc.cover)
 	hubIn := false
@@ -544,6 +629,7 @@ func tupleLess(a, b *nbTuple) bool {
 // The result is deliberately not cached: a fingerprint-colliding healthy
 // neighborhood must not replay a degenerate answer.
 func (e *Engine) fallbackNode(u int, cause error) {
+	e.kin[u].valid = false
 	e.fwd[u] = append([]int(nil), e.nbrs[u]...)
 	e.hubIn[u] = true
 	e.fallbacks.Add(1)

@@ -55,10 +55,15 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	}
 	dirty := e.updDirty[:len(nodes)]
 	clear(dirty)
+	if cap(e.updCand) < len(nodes) {
+		e.updCand = make([][]int, len(nodes))
+	}
+	cand := e.updCand[:len(nodes)]
 	for _, u := range moved {
 		dirty[u] = true
 		for _, v := range e.nbrs[u] {
 			dirty[v] = true
+			cand[v] = append(cand[v], u)
 		}
 	}
 	for _, u := range moved {
@@ -73,6 +78,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 			// a neighbor under the canonical link comparison.
 			if v != u && geom.Reaches(e.nodes[v].Pos, hub.Pos, e.nodes[v].Radius) {
 				dirty[v] = true
+				cand[v] = append(cand[v], u)
 			}
 		})
 	}
@@ -84,18 +90,41 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	}
 	e.updList = list
 
+	// Per-pass "did this node move" table for the repair path: a dirty
+	// node that moved itself recomputes; a dirty node whose neighbor moved
+	// repairs that neighbor's arcs in place. Reset entry-wise below so a
+	// small move set costs O(moved), not O(n).
+	if cap(e.updMovedMark) < len(nodes) {
+		e.updMovedMark = make([]bool, len(nodes))
+	}
+	movedMark := e.updMovedMark[:len(nodes)]
+	for _, u := range moved {
+		movedMark[u] = true
+	}
+
 	hits0, misses0 := e.cache.counts()
 	e.fallbacks.Store(0)
+	e.repaired.Store(0)
+	e.recomputed.Store(0)
+	e.repairFB.Store(0)
 	var tickSpan obs.Span
 	if m != nil {
 		tickSpan = m.spanUpdate.Begin()
 	}
 	var firstErr runErr
 	workers := e.forEachShard(len(list), func(i int, sc *scratch) {
-		if err := e.computeNode(list[i], sc); err != nil {
+		if err := e.updateNode(list[i], sc, movedMark); err != nil {
 			firstErr.set(err)
 		}
 	})
+	for _, u := range moved {
+		movedMark[u] = false
+	}
+	// Every cand append above was paired with a dirty mark, so resetting
+	// over the dirty list clears exactly the touched entries in O(dirty).
+	for _, u := range list {
+		cand[u] = cand[u][:0]
+	}
 	if err := firstErr.get(); err != nil {
 		return nil, err
 	}
@@ -110,6 +139,10 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 		Moved:       len(moved),
 		Dirty:       len(list),
 		Fallbacks:   int(e.fallbacks.Load()),
+
+		Repaired:        int(e.repaired.Load()),
+		Recomputed:      int(e.recomputed.Load()),
+		RepairFallbacks: int(e.repairFB.Load()),
 	}
 	for _, nb := range e.nbrs {
 		e.stats.Edges += len(nb)

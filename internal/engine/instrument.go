@@ -25,6 +25,14 @@ const (
 	MetricDirtyNodes     = "engine_dirty_nodes"
 	MetricDirtyFraction  = "engine_dirty_fraction"
 	MetricFallbacks      = "engine_fallback_total"
+	// Kinetic repair accounting (Update only): dirty nodes whose skyline
+	// was patched in place, dirty nodes fully recomputed, repairs abandoned
+	// mid-surgery (tie or invariant trip — a subset of the recomputes), and
+	// the per-node latency of successful repairs.
+	MetricRepairTotal         = "engine_repair_total"
+	MetricRecomputeTotal      = "engine_recompute_total"
+	MetricRepairFallbackTotal = "engine_repair_fallback_total"
+	MetricRepairSeconds       = "engine_repair_seconds"
 
 	// EventFallback is emitted once per node whose computed skyline failed
 	// the runtime invariant check and was replaced by the full local set.
@@ -37,6 +45,7 @@ const (
 	SpanUpdate  = "engine_update"
 	SpanCell    = "engine_cell"
 	SpanNode    = "engine_node"
+	SpanRepair  = "engine_repair"
 )
 
 // engMetrics holds pre-resolved handles so the engine never touches the
@@ -63,14 +72,20 @@ type engMetrics struct {
 	// fallbacks counts degeneracy fallbacks: nodes whose skyline failed
 	// the runtime invariant check and got the full local set instead.
 	fallbacks *obs.Counter
-	sink      *obs.EventSink
+	// Kinetic repair accounting (see Stats.Repaired and friends).
+	repairs         *obs.Counter
+	recomputes      *obs.Counter
+	repairFallbacks *obs.Counter
+	repairSeconds   *obs.Timer
+	sink            *obs.EventSink
 	// Span kinds (nil when no sink is attached): pass → cell batch → node,
-	// plus update ticks. Per-kind sampling keeps the trace bounded while
-	// the sharded totals keep counting past the budget.
+	// plus update ticks and per-node repairs. Per-kind sampling keeps the
+	// trace bounded while the sharded totals keep counting past the budget.
 	spanCompute *obs.SpanKind
 	spanUpdate  *obs.SpanKind
 	spanCell    *obs.SpanKind
 	spanNode    *obs.SpanKind
+	spanRepair  *obs.SpanKind
 }
 
 // engInstr is the installed instrumentation; nil means disabled, and the
@@ -87,27 +102,32 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 	}
 	tracer := obs.NewSpanTracer(sink, 0)
 	engInstr.Store(&engMetrics{
-		computes:       r.Counter(MetricComputeTotal),
-		computeSeconds: r.Timer(MetricComputeSeconds),
-		updates:        r.Counter(MetricUpdateTotal),
-		updateSeconds:  r.Timer(MetricUpdateSeconds),
-		nodes:          r.Counter(MetricNodesTotal),
-		cells:          r.Counter(MetricCellsTotal),
-		nodesPerSec:    r.Gauge(MetricNodesPerSec),
-		cellsPerSec:    r.Gauge(MetricCellsPerSec),
-		cacheHits:      r.Counter(MetricCacheHits),
-		cacheMisses:    r.Counter(MetricCacheMisses),
-		cacheHitRatio:  r.Gauge(MetricCacheHitRatio),
-		cacheEntries:   r.Gauge(MetricCacheEntries),
-		workers:        r.Gauge(MetricWorkers),
-		dirtyNodes:     r.Histogram(MetricDirtyNodes),
-		dirtyFraction:  r.Gauge(MetricDirtyFraction),
-		fallbacks:      r.Counter(MetricFallbacks),
-		sink:           sink,
-		spanCompute:    tracer.Kind(SpanCompute),
-		spanUpdate:     tracer.Kind(SpanUpdate),
-		spanCell:       tracer.Kind(SpanCell),
-		spanNode:       tracer.Kind(SpanNode),
+		computes:        r.Counter(MetricComputeTotal),
+		computeSeconds:  r.Timer(MetricComputeSeconds),
+		updates:         r.Counter(MetricUpdateTotal),
+		updateSeconds:   r.Timer(MetricUpdateSeconds),
+		nodes:           r.Counter(MetricNodesTotal),
+		cells:           r.Counter(MetricCellsTotal),
+		nodesPerSec:     r.Gauge(MetricNodesPerSec),
+		cellsPerSec:     r.Gauge(MetricCellsPerSec),
+		cacheHits:       r.Counter(MetricCacheHits),
+		cacheMisses:     r.Counter(MetricCacheMisses),
+		cacheHitRatio:   r.Gauge(MetricCacheHitRatio),
+		cacheEntries:    r.Gauge(MetricCacheEntries),
+		workers:         r.Gauge(MetricWorkers),
+		dirtyNodes:      r.Histogram(MetricDirtyNodes),
+		dirtyFraction:   r.Gauge(MetricDirtyFraction),
+		fallbacks:       r.Counter(MetricFallbacks),
+		repairs:         r.Counter(MetricRepairTotal),
+		recomputes:      r.Counter(MetricRecomputeTotal),
+		repairFallbacks: r.Counter(MetricRepairFallbackTotal),
+		repairSeconds:   r.Timer(MetricRepairSeconds),
+		sink:            sink,
+		spanCompute:     tracer.Kind(SpanCompute),
+		spanUpdate:      tracer.Kind(SpanUpdate),
+		spanCell:        tracer.Kind(SpanCell),
+		spanNode:        tracer.Kind(SpanNode),
+		spanRepair:      tracer.Kind(SpanRepair),
 	})
 }
 
@@ -143,6 +163,9 @@ func (m *engMetrics) recordUpdate(s Stats, elapsed time.Duration, cache *skyCach
 	if s.Nodes > 0 {
 		m.dirtyFraction.Set(float64(s.Dirty) / float64(s.Nodes))
 	}
+	m.repairs.Add(int64(s.Repaired))
+	m.recomputes.Add(int64(s.Recomputed))
+	m.repairFallbacks.Add(int64(s.RepairFallbacks))
 	m.recordCache(s, cache)
 }
 

@@ -49,6 +49,8 @@ const (
 	MetricNodes           = "mldcsd_nodes"
 	MetricQueries         = "mldcsd_queries_total"
 	MetricQueryErrors     = "mldcsd_query_errors_total"
+	MetricRepaired        = "mldcsd_nodes_repaired_total"   // dirty nodes patched by kinetic repair
+	MetricRecomputed      = "mldcsd_nodes_recomputed_total" // dirty nodes recomputed from scratch
 )
 
 // Config parameterizes a Server. The zero value is usable: every knob
@@ -164,6 +166,8 @@ type serverMetrics struct {
 	nodes     *obs.Gauge
 	queries   *obs.Counter
 	queryErrs *obs.Counter
+	repaired  *obs.Counter
+	recomp    *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
@@ -183,6 +187,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		nodes:     r.Gauge(MetricNodes),
 		queries:   r.Counter(MetricQueries),
 		queryErrs: r.Counter(MetricQueryErrors),
+		repaired:  r.Counter(MetricRepaired),
+		recomp:    r.Counter(MetricRecomputed),
 	}
 }
 
@@ -351,5 +357,7 @@ func (s *Server) applyGroup(group []ingestItem) {
 	})
 	s.m.epoch.Set(float64(res.Epoch))
 	s.m.nodes.Set(float64(len(dense)))
+	s.m.repaired.Add(int64(res.Stats.Repaired))
+	s.m.recomp.Add(int64(res.Stats.Recomputed))
 	sw.Stop()
 }

@@ -97,6 +97,43 @@ func TestComputeAmortizedAllocs(t *testing.T) {
 	}
 }
 
+// The kinetic Into variants — the engine's per-event repair primitives —
+// must be allocation-free once the Scratch and destination are warm. This
+// is the contract that lets Update repair thousands of neighborhoods per
+// tick without producing garbage; InsertDisk (the allocating public
+// wrapper) pays for its result, InsertDiskInto must not.
+func TestKineticIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(605))
+	var sc Scratch
+	var dst Skyline
+	for _, n := range []int{3, 17, 64} {
+		disks := randomLocalSet(rng, n)
+		sl, err := Compute(disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slHead, err := Compute(disks[:n-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := disks[n/2]
+		tie := false
+		ops := map[string]func(){
+			"InsertDiskInto": func() { dst = sc.InsertDiskInto(dst, disks, slHead, n-1, &tie) },
+			"RemoveDiskInto": func() { dst = sc.RemoveDiskInto(dst, disks, sl, n/2, &tie) },
+			"MoveDiskInto":   func() { disks[n/2] = moved; dst = sc.MoveDiskInto(dst, disks, sl, n/2, &tie) },
+		}
+		for name, op := range ops {
+			for i := 0; i < 3; i++ {
+				op() // warm-up: grow the scratch and destination
+			}
+			if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+				t.Errorf("n=%d: steady-state %s allocated %.1f objects/run, want 0", n, name, allocs)
+			}
+		}
+	}
+}
+
 // Merge on caller-supplied skylines must likewise cost only its result.
 func TestMergeAmortizedAllocs(t *testing.T) {
 	if raceEnabled {

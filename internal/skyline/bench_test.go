@@ -109,10 +109,14 @@ func TestSkylineBenchReport(t *testing.T) {
 	if out == "" {
 		t.Skip("set SKYLINE_BENCH_OUT=<path> to write the skyline benchmark report")
 	}
+	// num_cpu and gomaxprocs are recorded separately (the machine's core
+	// count vs the scheduler's parallelism cap) — see the engine bench
+	// report for the rationale.
 	report := struct {
-		Cores int                 `json:"cores"`
-		Sizes []skylineBenchEntry `json:"sizes"`
-	}{Cores: runtime.NumCPU()}
+		NumCPU     int                 `json:"num_cpu"`
+		Gomaxprocs int                 `json:"gomaxprocs"`
+		Sizes      []skylineBenchEntry `json:"sizes"`
+	}{NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 	for _, n := range []int{16, 128, 1024} {
 		sets := benchSets(n)
 		arcs := 0
@@ -158,5 +162,5 @@ func TestSkylineBenchReport(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s (cores=%d)", out, report.Cores)
+	t.Logf("wrote %s (num_cpu=%d, gomaxprocs=%d)", out, report.NumCPU, report.Gomaxprocs)
 }

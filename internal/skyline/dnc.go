@@ -50,7 +50,7 @@ func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
 		// Children complete before the parent merge starts, so the shared
 		// scratch's breakpoint buffer is free; each node's output is a
 		// fresh slice because both children stay live during the merge.
-		return mergeInto(nil, sc, disks, rec(lo, mid), rec(mid, hi), false, nil)
+		return mergeInto(nil, sc, disks, rec(lo, mid), rec(mid, hi), false, nil, nil)
 	}
 	return rec(0, len(disks)), nil
 }
@@ -73,7 +73,7 @@ func ComputeNoCombine(disks []geom.Disk) (Skyline, error) {
 // Both inputs must be valid skylines (contiguous over [0, 2π)).
 func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
 	sc := getScratch()
-	out := mergeInto(sc.out[:0], sc, disks, s1, s2, true, skyInstr.Load())
+	out := mergeInto(sc.out[:0], sc, disks, s1, s2, true, skyInstr.Load(), nil)
 	sc.out = out
 	owned := make(Skyline, len(out))
 	copy(owned, out)
@@ -84,8 +84,9 @@ func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
 // mergeInto merges s1 and s2 into dst[:0] and returns it. dst must not
 // alias s1, s2, or sc's internal buffers; sc supplies the breakpoint
 // scratch. With coalesce false, Step 3 is skipped (the A1 ablation, never
-// instrumented).
-func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics) Skyline {
+// instrumented). A non-nil tie receives the kinetic-repair tie report
+// (see resolveSpan); the full compute path passes nil.
+func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics, tie *bool) Skyline {
 	// Step 1: merged breakpoint sequence. Both inputs carry their arcs in
 	// increasing angle order, so one two-pointer pass yields the sorted
 	// union of their start angles, deduplicated within geom.AngleEps
@@ -132,6 +133,9 @@ func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coal
 	for k := 0; k+1 < len(bps); k++ {
 		a, b := bps[k], bps[k+1]
 		if geom.AngleSliver(a, b) {
+			if tie != nil {
+				*tie = true
+			}
 			continue
 		}
 		m := (a + b) / 2
@@ -141,7 +145,7 @@ func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coal
 		for i2 < len(s2)-1 && s2[i2].End <= m {
 			i2++
 		}
-		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce, ins)
+		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce, ins, tie)
 	}
 	if len(out) == 0 {
 		// Degenerate: all spans were slivers. Fall back to whichever disk
@@ -198,12 +202,25 @@ func combineInPlace(s Skyline) Skyline {
 // disk u is active in one input skyline and disk v in the other. This is
 // the paper's Case 1/2/3 analysis: cut the span at the crossings of the two
 // ρ curves (0, 1, or 2 of them) and keep the outer disk on each piece.
-func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesce bool, ins *skyMetrics) Skyline {
+//
+// A non-nil tie is the kinetic-repair safety valve: it is set whenever the
+// span resolution leaned on a degenerate decision — an envelope tie within
+// geom.RhoEps broken by betterTie, a sliver piece dropped between
+// near-coincident crossings, or a hub-tangent disk (whose ρ vanishes on a
+// half-circle, the family that makes intervals of exact ties possible).
+// On any of these the repaired result may legitimately pick a different
+// representative than a from-scratch compute would, so the caller must
+// fall back to a full recompute to stay bit-compatible with it. The full
+// compute path passes nil and pays nothing.
+func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesce bool, ins *skyMetrics, tie *bool) Skyline {
 	if u == v {
 		if ins != nil {
 			ins.case0.Inc()
 		}
 		return appendArc(out, a, b, u, coalesce)
+	}
+	if tie != nil && (hubTangent(disks[u]) || hubTangent(disks[v])) {
+		*tie = true
 	}
 	var cuts [8]float64
 	n := 0
@@ -246,9 +263,14 @@ func resolveSpan(disks []geom.Disk, out Skyline, a, b float64, u, v int, coalesc
 	for k := 0; k+1 < n; k++ {
 		lo, hi := cuts[k], cuts[k+1]
 		if geom.AngleSliver(lo, hi) {
+			if tie != nil && k > 0 && k+2 < n {
+				// An interior sliver means two crossings nearly coincide
+				// (tangency); the winner on either side is numerically shaky.
+				*tie = true
+			}
 			continue
 		}
-		out = appendArc(out, lo, hi, winner(disks, u, v, (lo+hi)/2), coalesce)
+		out = appendArc(out, lo, hi, winnerFlag(disks, u, v, (lo+hi)/2, tie), coalesce)
 	}
 	return out
 }

@@ -83,6 +83,14 @@ func betterTie(disks []geom.Disk, i, j int) bool {
 // distance at theta, applying the canonical tie-break when the values are
 // within geom.RhoEps.
 func winner(disks []geom.Disk, i, j int, theta float64) int {
+	return winnerFlag(disks, i, j, theta, nil)
+}
+
+// winnerFlag is winner with tie reporting for the kinetic repair path: a
+// non-nil tie is set when the two ray distances are within geom.RhoEps and
+// the canonical tie-break decided the outcome. The repair caller treats a
+// reported tie as grounds for a full recompute (see resolveSpan).
+func winnerFlag(disks []geom.Disk, i, j int, theta float64, tie *bool) int {
 	e := geom.Unit(theta)
 	ri := disks[i].RayDistDir(e)
 	rj := disks[j].RayDistDir(e)
@@ -92,11 +100,21 @@ func winner(disks []geom.Disk, i, j int, theta float64) int {
 	case -1:
 		return j
 	default:
+		if tie != nil {
+			*tie = true
+		}
 		if betterTie(disks, i, j) {
 			return i
 		}
 		return j
 	}
+}
+
+// hubTangent reports whether the disk's boundary passes through the hub
+// (‖c‖ = r within tolerance): the degenerate family whose ρ vanishes on a
+// closed half-circle, making interval-long envelope ties possible.
+func hubTangent(d geom.Disk) bool {
+	return geom.LengthEq(d.C.Norm(), d.R)
 }
 
 // crossingAngles returns candidate angles (measured at the origin, in

@@ -8,22 +8,26 @@ import (
 	"repro/internal/geom"
 )
 
-// disksFromBytes deterministically decodes a byte string into a non-empty
-// local disk set: each 6-byte chunk becomes one disk with radius in
-// [0.5, 2.5], center distance a fraction of the radius, at an arbitrary
-// angle. Every decoded disk contains the origin by construction.
+// diskFromChunk deterministically decodes a 6-byte chunk into one disk
+// with radius in [0.5, 2.5], center distance a fraction of the radius, at
+// an arbitrary angle. The decoded disk contains the origin by construction.
+func diskFromChunk(chunk []byte) geom.Disk {
+	u := binary.LittleEndian.Uint16(chunk[0:2])
+	v := binary.LittleEndian.Uint16(chunk[2:4])
+	w := binary.LittleEndian.Uint16(chunk[4:6])
+	r := 0.5 + 2*float64(u)/65535
+	frac := float64(v) / 65535 * 0.999
+	theta := float64(w) / 65535 * geom.TwoPi
+	return geom.Disk{C: geom.Unit(theta).Scale(frac * r), R: r}
+}
+
+// disksFromBytes decodes a byte string into a non-empty local disk set,
+// one disk per 6-byte chunk.
 func disksFromBytes(data []byte) []geom.Disk {
 	var disks []geom.Disk
 	for len(data) >= 6 {
-		chunk := data[:6]
+		disks = append(disks, diskFromChunk(data[:6]))
 		data = data[6:]
-		u := binary.LittleEndian.Uint16(chunk[0:2])
-		v := binary.LittleEndian.Uint16(chunk[2:4])
-		w := binary.LittleEndian.Uint16(chunk[4:6])
-		r := 0.5 + 2*float64(u)/65535
-		frac := float64(v) / 65535 * 0.999
-		theta := float64(w) / 65535 * geom.TwoPi
-		disks = append(disks, geom.Disk{C: geom.Unit(theta).Scale(frac * r), R: r})
 	}
 	if len(disks) == 0 {
 		disks = []geom.Disk{geom.NewDisk(0, 0, 1)}

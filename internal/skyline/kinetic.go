@@ -1,0 +1,338 @@
+package skyline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// This file is the kinetic repair layer: updating an existing skyline for
+// one disk's departure (RemoveDisk), arrival (InsertDiskInto, the
+// scratch-backed sibling of InsertDisk), or motion (MoveDiskInto) without
+// recomputing from scratch. Insertion is Lemma 8's one-disk merge; removal
+// is its inverse — excise the departing disk's arcs and re-expose the
+// runner-up envelope over the freed angular spans. Each operation costs
+// O(candidates × arcs touched), independent of how the skyline was built,
+// which is what makes per-event repair beat per-tick recomputation under
+// continuous mobility (the engine's Update path).
+//
+// Every operation accepts an optional tie flag. Repair resolves spans
+// against the cached skyline rather than replaying the full merge tree, so
+// on inputs with envelope ties (within geom.RhoEps), dropped sliver
+// pieces, or hub-tangent disks the repaired skyline can legitimately pick
+// a different — equally maximal — representative than a from-scratch
+// compute would. The flag reports that any such degenerate decision was
+// taken; a caller that needs bit-compatibility with full recomputation
+// (the engine does, its differential tests assert element-identical
+// forwarding sets) falls back to ComputeInto when it is set. The envelope
+// itself is correct either way; the test suite pins it against the
+// retained sort-based oracle.
+
+// RemoveDisk returns the skyline of the disk set with disks[rm] removed.
+// disks must be the slice sl was computed over, unchanged: the result's
+// arcs keep their original indices (never rm), so the caller can drop or
+// recycle slot rm afterwards. Runs in O(n × arcs over the freed spans).
+func RemoveDisk(disks []geom.Disk, sl Skyline, rm int) (Skyline, error) {
+	if len(disks) == 0 {
+		return nil, ErrEmptySet
+	}
+	if rm < 0 || rm >= len(disks) {
+		return nil, fmt.Errorf("skyline: RemoveDisk index %d out of range [0, %d)", rm, len(disks))
+	}
+	if len(disks) == 1 {
+		return nil, fmt.Errorf("skyline: RemoveDisk of the only disk: %w", ErrEmptySet)
+	}
+	if err := sl.Validate(len(disks)); err != nil {
+		return nil, fmt.Errorf("skyline: RemoveDisk on invalid skyline: %w", err)
+	}
+	sc := getScratch()
+	view := sc.RemoveDiskInto(sc.out, disks, sl, rm, nil)
+	sc.out = view
+	owned := make(Skyline, len(view))
+	copy(owned, view)
+	putScratch(sc)
+	return owned, nil
+}
+
+// MoveDisk returns the skyline after disks[mv] moved: disks must already
+// hold the disk's new geometry (removal only needs the arc list, never the
+// old position). Equivalent to RemoveDisk followed by re-insertion, fused.
+func MoveDisk(disks []geom.Disk, sl Skyline, mv int) (Skyline, error) {
+	if len(disks) == 0 {
+		return nil, ErrEmptySet
+	}
+	if mv < 0 || mv >= len(disks) {
+		return nil, fmt.Errorf("skyline: MoveDisk index %d out of range [0, %d)", mv, len(disks))
+	}
+	d := disks[mv]
+	if !(d.R > 0) || math.IsInf(d.R, 0) || math.IsNaN(d.R) {
+		return nil, ErrInvalidRadius
+	}
+	if !d.ContainsOrigin() {
+		return nil, ErrNotLocalDiskSet
+	}
+	if err := sl.Validate(len(disks)); err != nil {
+		return nil, fmt.Errorf("skyline: MoveDisk on invalid skyline: %w", err)
+	}
+	sc := getScratch()
+	view := sc.MoveDiskInto(sc.out, disks, sl, mv, nil)
+	sc.out = view
+	owned := make(Skyline, len(view))
+	copy(owned, view)
+	putScratch(sc)
+	return owned, nil
+}
+
+// InsertDiskInto is the scratch-backed InsertDisk: it merges disks[ins]
+// into sl and writes the result to dst[:0], performing no validation and
+// no heap allocation once the buffers are warm (the engine's kinetic path
+// and the allocation regression tests pin this). dst must not alias sl or
+// the Scratch's internal buffers; the caller vouches that disks[ins] is a
+// valid hub-containing disk. Unlike InsertDisk, ins may be any index, not
+// just the last.
+func (sc *Scratch) InsertDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, ins int, tie *bool) Skyline {
+	return insertOneInto(dst, disks, sl, ins, skyInstr.Load(), tie)
+}
+
+// insertOneInto merges the single disk ins into the valid skyline sl —
+// semantically mergeInto with a full-circle one-arc second input, minus
+// the breakpoint pass (the union of breakpoints is exactly sl's) and plus
+// an envelope-bound prune: an arc whose owner stays strictly above the
+// new disk's global maximum ray distance (beyond RhoEps, via RhoCmp)
+// cannot be crossed, tied, or taken over anywhere on the arc, so it is
+// copied through without any crossing analysis. The prune is what makes a
+// small-move repair cheap: a moved neighbor contends with two or three
+// arcs of the cached skyline, not all of them.
+func insertOneInto(dst Skyline, disks []geom.Disk, sl Skyline, ins int, im *skyMetrics, tie *bool) Skyline {
+	out := dst[:0]
+	d := disks[ins]
+	dmax := d.C.Norm() + d.R
+	if im != nil {
+		im.merges.Inc()
+		im.breakpoints.Add(int64(len(sl) + 1))
+	}
+	for _, arc := range sl {
+		if geom.AngleSliver(arc.Start, arc.End) {
+			// mergeInto drops sliver spans (and flags): mirror it so the
+			// two insert paths stay bit-identical.
+			if tie != nil {
+				*tie = true
+			}
+			continue
+		}
+		w := disks[arc.Disk]
+		// Cheap global bound first (no trig), then the exact per-span
+		// minimum. RhoCmp < 0 means the new disk tops out more than RhoEps
+		// below the owner's floor: no tie is possible, the outcome is
+		// forced, and skipping resolveSpan changes nothing.
+		if geom.RhoCmp(dmax, w.R-w.C.Norm()) < 0 ||
+			geom.RhoCmp(dmax, spanFloor(w, arc.Start, arc.End)) < 0 {
+			if im != nil {
+				im.case0.Inc()
+			}
+			out = appendArc(out, arc.Start, arc.End, arc.Disk, true)
+			continue
+		}
+		out = resolveSpan(disks, out, arc.Start, arc.End, arc.Disk, ins, true, im, tie)
+	}
+	if len(out) == 0 {
+		win := winner(disks, sl[0].Disk, ins, 1.0)
+		return append(out, Arc{Start: 0, End: geom.TwoPi, Disk: win})
+	}
+	out[0].Start = 0
+	out[len(out)-1].End = geom.TwoPi
+	return combineInPlace(out)
+}
+
+// spanFloor returns the minimum ray distance of d over the span [a, b].
+// ρ_d is circularly unimodal — one maximum toward the center, one minimum
+// directly away from it — so the span minimum is r − ‖c‖ when the span
+// contains the away angle and the smaller endpoint value otherwise.
+func spanFloor(d geom.Disk, a, b float64) float64 {
+	opp := geom.NormalizeAngle(d.C.Angle() + math.Pi)
+	if geom.AngleInSpan(opp, a, b) {
+		return d.R - d.C.Norm()
+	}
+	ra := d.RayDistDir(geom.Unit(a))
+	rb := d.RayDistDir(geom.Unit(b))
+	return math.Min(ra, rb)
+}
+
+// RemoveDiskInto excises disks[rm]'s arcs from sl and re-exposes the
+// runner-up envelope over each freed span, writing the result to dst[:0].
+// The result references original disk indices (rm never appears). At least
+// one other disk must exist, dst must not alias sl or the Scratch's
+// internal buffers, and sl must be valid; no heap allocation once warm.
+func (sc *Scratch) RemoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, rm int, tie *bool) Skyline {
+	out := dst[:0]
+	for i := 0; i < len(sl); {
+		if sl[i].Disk != rm {
+			out = append(out, sl[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(sl) && sl[j].Disk == rm {
+			j++
+		}
+		out = sc.resolveFreedSpan(out, disks, rm, sl[i].Start, sl[j-1].End, tie)
+		i = j
+	}
+	if len(out) == 0 {
+		return out
+	}
+	out[0].Start = 0
+	out[len(out)-1].End = geom.TwoPi
+	return combineInPlace(out)
+}
+
+// MoveDiskInto updates sl for disks[mv]'s new geometry (already written
+// into disks — the excision identifies the old arcs by index, never by
+// position) in one pass. Arcs the disk does not own are resolved against
+// its new geometry exactly like insertOneInto (with the same
+// envelope-bound prune); runs of arcs it does own become freed spans
+// resolved over all disks *including* the moved one. Fusing matters for
+// small moves: the freed-span seed is then usually the moved disk itself,
+// whose high floor prunes almost every other candidate, where a
+// remove-then-insert pays for a runner-up fight and a second full walk.
+// Same contract as the other Into variants: unchecked, alias-free dst,
+// zero allocations once warm.
+func (sc *Scratch) MoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, mv int, tie *bool) Skyline {
+	if len(disks) == 1 {
+		// Nothing else contributes: the moved disk owns the whole circle.
+		return append(dst[:0], Arc{Start: 0, End: geom.TwoPi, Disk: mv})
+	}
+	out := dst[:0]
+	d := disks[mv]
+	dmax := d.C.Norm() + d.R
+	im := skyInstr.Load()
+	if im != nil {
+		im.merges.Inc()
+		im.breakpoints.Add(int64(len(sl) + 1))
+	}
+	for i := 0; i < len(sl); {
+		arc := sl[i]
+		if arc.Disk == mv {
+			j := i
+			for j < len(sl) && sl[j].Disk == mv {
+				j++
+			}
+			// skip = -1: the moved disk competes for its former spans with
+			// its new geometry, alongside everyone else.
+			out = sc.resolveFreedSpan(out, disks, -1, sl[i].Start, sl[j-1].End, tie)
+			i = j
+			continue
+		}
+		i++
+		if geom.AngleSliver(arc.Start, arc.End) {
+			if tie != nil {
+				*tie = true
+			}
+			continue
+		}
+		w := disks[arc.Disk]
+		if geom.RhoCmp(dmax, w.R-w.C.Norm()) < 0 ||
+			geom.RhoCmp(dmax, spanFloor(w, arc.Start, arc.End)) < 0 {
+			if im != nil {
+				im.case0.Inc()
+			}
+			out = appendArc(out, arc.Start, arc.End, arc.Disk, true)
+			continue
+		}
+		out = resolveSpan(disks, out, arc.Start, arc.End, arc.Disk, mv, true, im, tie)
+	}
+	if len(out) == 0 {
+		win := winner(disks, sl[0].Disk, mv, 1.0)
+		return append(out, Arc{Start: 0, End: geom.TwoPi, Disk: win})
+	}
+	out[0].Start = 0
+	out[len(out)-1].End = geom.TwoPi
+	return combineInPlace(out)
+}
+
+// resolveFreedSpan appends the upper envelope of all disks except rm over
+// the freed span [a, b]: seed with the ray-distance winner at the span's
+// midpoint, then resolve every other candidate against the running span
+// skyline through the scratch's ping-pong pair. Correctness rests on the
+// cached skyline: outside its freed spans the surviving arcs were maximal
+// over a superset of the remaining disks, so only the freed spans need
+// re-exposure.
+func (sc *Scratch) resolveFreedSpan(out Skyline, disks []geom.Disk, rm int, a, b float64, tie *bool) Skyline {
+	best := bestAtExcept(disks, rm, (a+b)/2, tie)
+	if geom.AngleSliver(a, b) {
+		// A sliver span cannot be subdivided meaningfully; hand it to the
+		// midpoint winner (Combine folds it into a neighbor) and flag.
+		if tie != nil {
+			*tie = true
+		}
+		if len(out) > 0 {
+			out[len(out)-1].End = b
+			return out
+		}
+		return append(out, Arc{Start: a, End: b, Disk: best})
+	}
+	cur := append(sc.kinA[:0], Arc{Start: a, End: b, Disk: best})
+	nxt := sc.kinB[:0]
+	// The running span envelope only ever grows, so the seed's minimum
+	// over [a, b] is a floor for every later resolution: any disk whose
+	// global maximum ray distance sits strictly below it (beyond RhoEps)
+	// can neither win nor tie anywhere in the span and is skipped whole.
+	floor := spanFloor(disks[best], a, b)
+	for d := range disks {
+		if d == rm || d == best {
+			continue
+		}
+		if geom.RhoCmp(disks[d].C.Norm()+disks[d].R, floor) < 0 {
+			continue
+		}
+		nxt = nxt[:0]
+		for _, arc := range cur {
+			nxt = resolveSpan(disks, nxt, arc.Start, arc.End, arc.Disk, d, true, nil, tie)
+		}
+		if len(nxt) == 0 {
+			// Every piece degenerated to a sliver; keep the current span
+			// skyline (the candidate cannot tile [a, b] better) and flag.
+			if tie != nil {
+				*tie = true
+			}
+			continue
+		}
+		nxt[0].Start = a
+		nxt[len(nxt)-1].End = b
+		cur, nxt = nxt, cur
+	}
+	sc.kinA, sc.kinB = cur[:0:cap(cur)], nxt[:0:cap(nxt)]
+	return append(out, cur...)
+}
+
+// bestAtExcept returns the index of the disk with the largest ray distance
+// at theta among all disks except skip, under the canonical tie-break; a
+// non-nil tie is set when any comparison landed within geom.RhoEps.
+func bestAtExcept(disks []geom.Disk, skip int, theta float64, tie *bool) int {
+	e := geom.Unit(theta)
+	best := math.Inf(-1)
+	arg := -1
+	for i, d := range disks {
+		if i == skip {
+			continue
+		}
+		r := d.RayDistDir(e)
+		if arg < 0 {
+			best, arg = r, i
+			continue
+		}
+		switch geom.RhoCmp(r, best) {
+		case +1:
+			best, arg = r, i
+		case 0:
+			if tie != nil {
+				*tie = true
+			}
+			if betterTie(disks, i, arg) {
+				best, arg = math.Max(r, best), i
+			}
+		}
+	}
+	return arg
+}

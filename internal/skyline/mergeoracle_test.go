@@ -56,7 +56,7 @@ func mergeSortOracle(disks []geom.Disk, s1, s2 Skyline, coalesce bool) Skyline {
 		for i2 < len(s2)-1 && s2[i2].End <= m {
 			i2++
 		}
-		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce, nil)
+		out = resolveSpan(disks, out, a, b, s1[i1].Disk, s2[i2].Disk, coalesce, nil, nil)
 	}
 	if len(out) == 0 {
 		win := winner(disks, s1[0].Disk, s2[0].Disk, 1.0)
@@ -178,8 +178,9 @@ func TestLinearMergeMatchesSortOracleStructured(t *testing.T) {
 }
 
 // loadFuzzCorpus decodes every seed file under testdata/fuzz/<target> into
-// its raw []byte payload.
-func loadFuzzCorpus(t *testing.T, target string) map[string][]byte {
+// its raw []byte payload. testing.TB so fuzz targets can re-seed from a
+// sibling target's curated corpus.
+func loadFuzzCorpus(t testing.TB, target string) map[string][]byte {
 	t.Helper()
 	dir := filepath.Join("testdata", "fuzz", target)
 	entries, err := os.ReadDir(dir)
@@ -247,7 +248,7 @@ func TestPublicMergeMatchesSortOracle(t *testing.T) {
 		requireSameSkyline(t, "merge", Merge(disks, sa, sb), mergeSortOracle(disks, sa, sb, true))
 
 		sc := getScratch()
-		nc := mergeInto(nil, sc, disks, sa, sb, false, nil)
+		nc := mergeInto(nil, sc, disks, sa, sb, false, nil, nil)
 		putScratch(sc)
 		requireSameSkyline(t, "merge-nocombine", nc, mergeSortOracle(disks, sa, sb, false))
 	}

@@ -23,6 +23,10 @@ type Scratch struct {
 	arena  Skyline
 	out    Skyline
 	frames []computeFrame
+	// Kinetic-repair working memory (see kinetic.go): the ping-pong pair
+	// a freed span's candidate envelope is resolved through.
+	kinA Skyline
+	kinB Skyline
 }
 
 // computeFrame is one suspended node of the divide-and-conquer tree in
@@ -44,7 +48,7 @@ type computeFrame struct {
 // the returned result — instead of O(n log n) buffer churn.
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func getScratch() *Scratch   { return scratchPool.Get().(*Scratch) }
 func putScratch(sc *Scratch) { scratchPool.Put(sc) }
 
 // ComputeInto computes the skyline of a local disk set into dst[:0],
@@ -139,7 +143,7 @@ func (sc *Scratch) compute(disks []geom.Disk, lo, hi int, m *skyMetrics, depth i
 		default:
 			left := sc.arena[f.base : f.base+f.leftLen]
 			right := sc.arena[f.base+f.leftLen:]
-			out := mergeInto(sc.out[:0], sc, disks, left, right, true, m)
+			out := mergeInto(sc.out[:0], sc, disks, left, right, true, m, nil)
 			sc.out = out
 			sc.arena = append(sc.arena[:f.base], out...)
 			fr = fr[:len(fr)-1]

@@ -51,7 +51,7 @@ func TestRhoBeyondRhoEpsIsNotATie(t *testing.T) {
 	// Slightly larger concentric envelope with a smaller... impossible for
 	// concentric; instead use a bigger-ρ disk with smaller radius: shift a
 	// small disk so its far boundary at θ=0 sticks out past the big one.
-	small := geom.Disk{C: geom.Pt(3 * geom.RhoEps, 0), R: 1}
+	small := geom.Disk{C: geom.Pt(3*geom.RhoEps, 0), R: 1}
 	// ρ_small(0) = 1 + 3·RhoEps > ρ_big(0) + RhoEps.
 	_, arg := Rho([]geom.Disk{big, small}, 0)
 	if arg != 1 {

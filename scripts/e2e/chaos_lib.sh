@@ -17,15 +17,17 @@ e2e_prepare_logs() {
     mkdir -p "$E2E_LOG_DIR"
 }
 
-# e2e_run_seeds <seeds> <actions> — fresh-seed chaos run. Failing seeds
-# are auto-banked into internal/e2e/testdata/regression_seeds.json; the
-# driver prints a reminder to commit the bank when that happens.
+# e2e_run_seeds <seeds> <actions> — fresh-seed chaos run, both stream
+# shapes (mixed churn and the pure-mobility kinetic-repair profile).
+# Failing seeds are auto-banked into
+# internal/e2e/testdata/regression_seeds.json; the driver prints a
+# reminder to commit the bank when that happens.
 e2e_run_seeds() {
     seeds="$1"
     actions="$2"
     echo "chaos: $seeds seeds x $actions actions (logs: $E2E_LOG_DIR)"
     if ! E2E_SEEDS="$seeds" E2E_ACTIONS="$actions" \
-        go test -count=1 -run TestChaosSeeds ./internal/e2e/; then
+        go test -count=1 -run 'TestChaosSeeds|TestChaosMobilitySeeds' ./internal/e2e/; then
         echo "chaos: FAILED — check $E2E_LOG_DIR and commit any new entries in" >&2
         echo "chaos:          internal/e2e/testdata/regression_seeds.json" >&2
         return 1
