@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-skyline bench-smoke bench-check cover fuzz fuzz-smoke lint lint-eps e2e e2e-smoke experiments examples clean
+.PHONY: all build test race bench bench-skyline bench-smoke bench-check cover fuzz fuzz-smoke lint lint-fast lint-eps e2e e2e-smoke experiments examples clean
 
 # The longitudinal benchmark history: every `make bench` / `make
 # bench-skyline` run appends its report here (with git SHA, cores,
@@ -16,11 +16,26 @@ build:
 	go build ./...
 
 # go vet plus the project lint suite (cmd/mldcslint): epsilon policy,
-# float equality, angle normalization, obs-sink, and dropped skyline
-# errors. See docs/STATIC_ANALYSIS.md.
+# float equality, angle normalization, obs-sink, dropped skyline errors,
+# and the concurrency/hot-path analyzers (scratchescape, snapshotmut,
+# atomicfield, hotpathalloc). See docs/STATIC_ANALYSIS.md.
 lint:
 	go vet ./...
 	go run ./cmd/mldcslint ./...
+
+# lint-fast: vet + mldcslint on only the packages whose Go files changed
+# since the merge-base with origin/main (falling back to HEAD~1; full run
+# when no base exists). Cross-package facts still load the dependencies
+# of the changed packages, so analyzer results match the full run for
+# those packages. Developer loop only — CI runs the full `make lint`.
+lint-fast:
+	@base=$$(git merge-base origin/main HEAD 2>/dev/null || git rev-parse HEAD~1 2>/dev/null || true); \
+	if [ -z "$$base" ]; then echo "lint-fast: no diff base; running full lint" >&2; $(MAKE) lint; exit $$?; fi; \
+	files=$$( (git diff --name-only "$$base" -- '*.go'; git ls-files --others --exclude-standard -- '*.go') | grep -v '/testdata/' | sort -u ); \
+	dirs=$$(for f in $$files; do [ -f "$$f" ] && dirname "$$f"; done | sort -u | sed 's|^|./|'); \
+	if [ -z "$$dirs" ]; then echo "lint-fast: no changed Go packages since $$base"; exit 0; fi; \
+	echo "lint-fast: $$dirs"; \
+	go vet $$dirs && go run ./cmd/mldcslint $$dirs
 
 # Deprecated alias: the grep-based scripts/lint-eps.sh became the
 # AST-aware epspolicy analyzer inside `make lint`.

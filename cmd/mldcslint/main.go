@@ -1,15 +1,24 @@
 // Command mldcslint runs the repository's go/analysis lint suite
 // (internal/analysis): project-specific analyzers that machine-check the
-// geometry, numerics, and observability invariants documented in
-// docs/STATIC_ANALYSIS.md.
+// geometry, numerics, concurrency, and observability invariants
+// documented in docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
-//	mldcslint [-run name,name,...] [packages]
+//	mldcslint [-run name,name,...] [-json] [-github] [-debug] [-tags list] [packages]
 //
 // Packages default to ./... — the whole module. The exit code is 0 when
-// the tree is clean, 1 when any analyzer reported a diagnostic, and 2
-// when loading or analysis itself failed.
+// the tree is clean (suppressed findings do not count), 1 when any
+// analyzer reported an unsuppressed diagnostic, and 2 when loading or
+// analysis itself failed.
+//
+// -json emits one JSON object per diagnostic per line (file, line, col,
+// analyzer, message, allowed) instead of the human format; findings
+// suppressed by //mldcslint:allow are included with "allowed": true so
+// CI artifacts record the allow state. -github additionally prints
+// GitHub Actions ::error workflow commands for unsuppressed findings so
+// they surface as PR annotations. -debug reports per-analyzer wall time
+// on stderr.
 //
 // It replaces scripts/lint-eps.sh: where the grep matched single-line
 // token patterns, the analyzers here resolve identifiers through the type
@@ -18,9 +27,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	xanalysis "golang.org/x/tools/go/analysis"
@@ -33,12 +44,27 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiag is the -json wire format: one object per line (JSONL), stable
+// field names for CI tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("mldcslint", flag.ExitOnError)
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations for findings")
+	debug := fs.Bool("debug", false, "report per-analyzer wall time on stderr")
+	tags := fs.String("tags", "", "build tags to apply when loading packages")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: mldcslint [-run name,...] [-list] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: mldcslint [-run name,...] [-list] [-json] [-github] [-debug] [-tags list] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the mldcslint analyzer suite (docs/STATIC_ANALYSIS.md) over the\n")
 		fmt.Fprintf(fs.Output(), "named packages (default ./...).\n\n")
 		fs.PrintDefaults()
@@ -76,21 +102,62 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := checker.Load(patterns)
+	pkgs, err := checker.LoadTags(patterns, *tags)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mldcslint: %v\n", err)
 		return 2
 	}
-	diags, err := checker.Run(suite, pkgs)
+	diags, stats, err := checker.RunSuite(suite, pkgs, checker.NewFactStore())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mldcslint: %v\n", err)
 		return 2
 	}
+
+	findings := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Println(d)
+		if !d.Allowed {
+			findings++
+		}
+		switch {
+		case *asJSON:
+			enc.Encode(jsonDiag{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Allowed:  d.Allowed,
+			})
+		case !d.Allowed:
+			fmt.Println(d)
+		}
+		if *github && !d.Allowed {
+			// Workflow commands require %, \r, \n escaped in the message.
+			msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").
+				Replace(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message))
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n",
+				d.Position.Filename, d.Position.Line, d.Position.Column, msg)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mldcslint: %d finding(s); see docs/STATIC_ANALYSIS.md for the policy and the //mldcslint:allow escape hatch\n", len(diags))
+
+	if *debug {
+		names := make([]string, 0, len(stats.Analyzer))
+		for name := range stats.Analyzer {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return stats.Analyzer[names[i]] > stats.Analyzer[names[j]]
+		})
+		fmt.Fprintf(os.Stderr, "mldcslint: analyzed %d package(s), one load shared by %d analyzer(s)\n",
+			stats.Packages, len(suite))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-15s %v\n", name, stats.Analyzer[name])
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mldcslint: %d finding(s); see docs/STATIC_ANALYSIS.md for the policy and the //mldcslint:allow escape hatch\n", findings)
 		return 1
 	}
 	return 0

@@ -57,6 +57,14 @@ func TestData(t *testing.T) string {
 // Run loads each fixture package (an import path under testdata/src),
 // applies the analyzer, and checks the diagnostics against the fixtures'
 // `// want` expectations.
+//
+// Patterns run in the order given and share one fact store, so a fixture
+// stub listed before its importer contributes cross-package facts the
+// same way a real dependency does under the mldcslint driver. List
+// dependency fixtures first. Diagnostics suppressed by an
+// //mldcslint:allow directive are dropped before matching, mirroring
+// cmd/mldcslint; a `// want` on an allowed line therefore fails — the
+// point of an allow fixture is asserting silence.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -72,6 +80,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 		}
 		return os.Open(f)
 	})
+	facts := checker.NewFactStore()
 	for _, pattern := range patterns {
 		fp, err := ld.load(pattern)
 		if err != nil {
@@ -85,12 +94,18 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string
 			Types: fp.types,
 			Info:  fp.info,
 		}
-		diags, err := checker.Run([]*analysis.Analyzer{a}, []*checker.Package{pkg})
+		diags, _, err := checker.RunSuite([]*analysis.Analyzer{a}, []*checker.Package{pkg}, facts)
 		if err != nil {
 			t.Errorf("running %s on fixture %q: %v", a.Name, pattern, err)
 			continue
 		}
-		checkExpectations(t, fset, pattern, fp.files, diags)
+		var reported []checker.Diagnostic
+		for _, d := range diags {
+			if !d.Allowed {
+				reported = append(reported, d)
+			}
+		}
+		checkExpectations(t, fset, pattern, fp.files, reported)
 	}
 }
 

@@ -1,0 +1,211 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields: a field accessed through sync/atomic anywhere (AddInt64,
+// LoadUint64, CompareAndSwapInt32, ...) must be accessed atomically
+// everywhere. A plain read or write of the same field — even one that
+// "only runs at startup" — is flagged.
+//
+// This is the classic pre-typed-atomics bug class: the race detector
+// catches a mixed access only on interleavings where the plain access
+// and an atomic one actually collide during a test run, whereas the
+// mixing itself is already a memory-model violation. The analyzer
+// rejects the access site statically.
+//
+// Fields are identified cross-package: if package A does
+// atomic.AddInt64(&s.Counter, 1) on a type from package B, an AtomicFact
+// is exported on the field and plain accesses in any later-analyzed
+// package are flagged too. Test files are exempt (tests may read stats
+// structs after all goroutines are joined), as are accesses on a *copy*
+// of the struct — copying h.stats then reading the copy's fields is a
+// different (copylocks-adjacent) concern, not a torn access.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+)
+
+const Name = "atomicfield"
+
+// AtomicFact marks a struct field that is accessed via sync/atomic
+// somewhere in the program.
+type AtomicFact struct{ Op string }
+
+func (*AtomicFact) AFact() {}
+
+func (f *AtomicFact) String() string { return "atomic field (" + f.Op + ")" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "flag plain reads/writes of struct fields that are accessed via sync/atomic\n" +
+		"elsewhere; a field is either always atomic or never atomic",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:     pass,
+		atomic:   map[*types.Var]string{},
+		atomicAt: map[ast.Node]bool{},
+	}
+	// Pass 1: find every &x.f handed to a sync/atomic function, in every
+	// file including tests — a test that does atomic.AddInt64 still makes
+	// the field atomic for the whole program.
+	for _, file := range pass.Files {
+		c.collectAtomicUses(file)
+	}
+	// Export facts so importers of this package see the contract.
+	for v, op := range c.atomic {
+		c.pass.ExportObjectFact(v, &AtomicFact{Op: op})
+	}
+	// Pass 2: flag plain accesses (non-test files only).
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		c.checkPlainAccesses(file)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	atomic map[*types.Var]string
+	// atomicAt records selector nodes that are themselves part of an
+	// atomic call (&x.f inside atomic.AddInt64(&x.f, 1)) so pass 2 does
+	// not flag the atomic use as a plain one.
+	atomicAt map[ast.Node]bool
+}
+
+// collectAtomicUses records fields whose address is passed to a
+// sync/atomic function.
+func (c *checker) collectAtomicUses(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := typeutilCallee(c.pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			v := c.fieldOf(sel)
+			if v == nil {
+				continue
+			}
+			if _, seen := c.atomic[v]; !seen {
+				c.atomic[v] = fn.Name()
+			}
+			c.atomicAt[sel] = true
+		}
+		return true
+	})
+}
+
+// fieldOf returns the struct-field object a selector refers to, or nil.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	v, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// isAtomicField reports whether v is atomic per this package's uses or
+// an imported fact, along with the atomic op that claimed it.
+func (c *checker) isAtomicField(v *types.Var) (string, bool) {
+	if op, ok := c.atomic[v]; ok {
+		return op, true
+	}
+	var fact AtomicFact
+	if c.pass.ImportObjectFact(v, &fact) {
+		return fact.Op, true
+	}
+	return "", false
+}
+
+// checkPlainAccesses flags selector reads and writes of atomic fields
+// that are not themselves atomic call arguments.
+func (c *checker) checkPlainAccesses(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || c.atomicAt[sel] {
+			return true
+		}
+		v := c.fieldOf(sel)
+		if v == nil {
+			return true
+		}
+		op, atomic := c.isAtomicField(v)
+		if !atomic {
+			return true
+		}
+		// Accessing a field of a struct *value* (a copy) is not a torn
+		// access of the shared field; only flag accesses through the
+		// addressable original, i.e. selector bases that are pointers or
+		// addressable expressions rooted in a pointer/var — which is any
+		// selector the type checker says refers to the same field object.
+		// A copy still uses the same *types.Var, so distinguish by base
+		// type: reading from a local struct copy is rooted at a local
+		// value variable. We conservatively flag everything except bases
+		// that are themselves plain local struct values.
+		if c.baseIsLocalCopy(sel) {
+			return true
+		}
+		c.pass.ReportRangef(sel, "plain access of field %s, which is accessed with atomic.%s elsewhere; mixed atomic/non-atomic access is a data race even when it \"can't happen concurrently\" — use sync/atomic here too, or a typed atomic (docs/STATIC_ANALYSIS.md#atomicfield)",
+			sel.Sel.Name, op)
+		return true
+	})
+}
+
+// baseIsLocalCopy reports whether the selector's base expression is a
+// function-local struct value (not pointer) variable — i.e. a copy whose
+// fields are private to this goroutine.
+func (c *checker) baseIsLocalCopy(sel *ast.SelectorExpr) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	// Local (non-package-scope) value of struct type.
+	if obj.Parent() == nil || (obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()) {
+		return false
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	_, isStruct := obj.Type().Underlying().(*types.Struct)
+	return isStruct
+}
+
+// typeutilCallee resolves the *types.Func a call invokes, or nil
+// (mirrors golang.org/x/tools/go/types/typeutil.StaticCallee without
+// pulling the package in).
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicfield"
+)
+
+// Package a splits atomic and plain accesses across files; counters/b
+// split them across packages (the counters stub is listed first so its
+// AtomicFact is in the shared store when b is analyzed).
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicfield.Analyzer,
+		"a", "repro/internal/counters", "b")
+}

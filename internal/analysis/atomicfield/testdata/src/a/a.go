@@ -1,0 +1,23 @@
+// Package a exercises mixed atomic/plain access with the accesses split
+// across files: this file establishes the fields as atomic; b.go holds
+// the violations. The analyzer must join the two views of the package.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+type server struct {
+	st stats
+}
+
+func (s *server) record() {
+	atomic.AddInt64(&s.st.hits, 1)
+}
+
+func (s *server) readAtomic() int64 {
+	return atomic.LoadInt64(&s.st.hits)
+}

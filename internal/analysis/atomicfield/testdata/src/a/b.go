@@ -1,0 +1,21 @@
+package a
+
+func (s *server) snapshotBroken() int64 {
+	return s.st.hits // want `accessed with atomic\.AddInt64 elsewhere`
+}
+
+func (s *server) resetBroken() {
+	s.st.hits = 0 // want `accessed with atomic\.AddInt64 elsewhere`
+}
+
+// copyOK: fields of a struct copy are private to this goroutine; reading
+// them is stale, not torn.
+func (s *server) copyOK() int64 {
+	c := s.st
+	return c.hits
+}
+
+// otherOK: total is never touched atomically.
+func (s *server) otherOK() int64 {
+	return s.st.total
+}

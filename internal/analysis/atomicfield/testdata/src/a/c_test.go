@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: after the goroutines under test are joined,
+// plain reads of atomic fields are the natural way to assert totals.
+func drainForAssertions(s *server) int64 {
+	return s.st.hits
+}

@@ -1,0 +1,9 @@
+// Package b reads counters.Stats.Queries without sync/atomic; the field
+// is known to be atomic only via the cross-package fact.
+package b
+
+import "repro/internal/counters"
+
+func drain(s *counters.Stats) int64 {
+	return s.Queries // want `accessed with atomic\.AddInt64 elsewhere`
+}

@@ -1,7 +1,9 @@
-// Package checker is the mldcslint driver: it loads Go packages with the
-// go toolchain (`go list -export`), type-checks the matched packages from
-// source, runs a suite of go/analysis analyzers over them, and collects
-// diagnostics.
+// Package checker is the mldcslint driver: it loads and type-checks each
+// matched package exactly once (`go list -export` + the gc importer for
+// dependencies), fans the whole analyzer suite out over every package —
+// in dependency order, packages analyzed concurrently once their
+// dependencies are done — and collects diagnostics plus per-analyzer
+// wall time.
 //
 // It deliberately avoids golang.org/x/tools/go/packages (the repository
 // vendors only the small go/analysis core): imports are resolved through
@@ -9,8 +11,14 @@
 // importer in the standard library reads directly. The repository has no
 // external runtime dependencies, so every import is either in-module or
 // in the standard library, and both come back from one `go list -deps`
-// invocation. Analyzers that use facts are not supported — the suite's
-// analyzers are all single-package.
+// invocation.
+//
+// Cross-package analyzer facts are supported (see FactStore): packages
+// are analyzed dependees-first, so when the suite reaches a package, the
+// facts its imports exported — a skyline function returns scratch-backed
+// memory, an engine type is //mldcs:immutable, a struct field is accessed
+// atomically — are already in the store, keyed by a stable object path
+// that survives the source-view/export-data-view split.
 package checker
 
 import (
@@ -31,8 +39,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
 )
 
 // A Package is a parsed and type-checked package ready for analysis.
@@ -43,6 +54,7 @@ type Package struct {
 	Types     *types.Package
 	Info      *types.Info
 	Module    *analysis.Module
+	deps      map[string]bool // transitive import paths, for analysis ordering
 	typeErrs  []types.Error
 	parseErrs []error
 }
@@ -59,10 +71,14 @@ func (p *Package) Err() error {
 }
 
 // A Diagnostic is an analyzer finding resolved to a file position.
+// Allowed marks findings suppressed by an //mldcslint:allow directive on
+// (or immediately above) the flagged line: they do not fail the lint, but
+// -json output still carries them so CI artifacts record the allow state.
 type Diagnostic struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+	Allowed  bool
 }
 
 func (d Diagnostic) String() string {
@@ -75,6 +91,7 @@ type listedPkg struct {
 	Dir        string
 	GoFiles    []string
 	Export     string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 	Module     *struct{ Path, GoVersion string }
@@ -83,7 +100,7 @@ type listedPkg struct {
 
 func goList(extra []string, patterns ...string) ([]*listedPkg, error) {
 	args := append([]string{"list", "-e", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module,Error"}, extra...)
+		"-json=ImportPath,Dir,GoFiles,Export,Deps,DepOnly,Standard,Module,Error"}, extra...)
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer
@@ -125,7 +142,18 @@ func NewInfo() *types.Info {
 // from source. Imports (in-module and standard library alike) are
 // satisfied from the export data `go list -export` produced.
 func Load(patterns []string) ([]*Package, error) {
-	listed, err := goList([]string{"-deps"}, patterns...)
+	return LoadTags(patterns, "")
+}
+
+// LoadTags is Load under additional build tags (comma-separated, as for
+// `go build -tags`). The mutation-canary test uses it to lint the
+// `mldcsmutate` build of the engine, which a plain Load never sees.
+func LoadTags(patterns []string, tags string) ([]*Package, error) {
+	extra := []string{"-deps"}
+	if tags != "" {
+		extra = append(extra, "-tags", tags)
+	}
+	listed, err := goList(extra, patterns...)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +182,10 @@ func Load(patterns []string) ([]*Package, error) {
 		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
 			continue
 		}
-		pkg := &Package{Path: lp.ImportPath, Fset: fset, Info: NewInfo()}
+		pkg := &Package{Path: lp.ImportPath, Fset: fset, Info: NewInfo(), deps: map[string]bool{}}
+		for _, d := range lp.Deps {
+			pkg.deps[d] = true
+		}
 		if lp.Module != nil {
 			pkg.Module = &analysis.Module{Path: lp.Module.Path, GoVersion: lp.Module.GoVersion}
 		}
@@ -181,20 +212,70 @@ func Load(patterns []string) ([]*Package, error) {
 	return out, nil
 }
 
+// RunStats reports how a checker run spent its time: cumulative wall
+// time per analyzer across all packages (concurrent package analyses all
+// contribute, so the sum can exceed the run's wall clock).
+type RunStats struct {
+	mu       sync.Mutex
+	Analyzer map[string]time.Duration
+	Packages int
+}
+
+func (st *RunStats) add(name string, d time.Duration) {
+	st.mu.Lock()
+	st.Analyzer[name] += d
+	st.mu.Unlock()
+}
+
 // Run applies each analyzer to each package and returns all diagnostics
-// sorted by position. Packages that failed to load abort the run: a lint
-// verdict on a partially-typed tree is not trustworthy.
+// sorted by position. Equivalent to RunSuite with a fresh fact store and
+// discarded stats; the fixture harness and older tests use it.
 func Run(as []*analysis.Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	diags, _, err := RunSuite(as, pkgs, NewFactStore())
+	return diags, err
+}
+
+// RunSuite fans the analyzer suite out over the loaded packages —
+// every package loaded and type-checked exactly once, all analyzers
+// sharing that single load — and returns all diagnostics sorted by
+// position, plus per-analyzer timing. Packages are processed in
+// dependency order so cross-package facts flow from dependees to
+// dependents; packages whose dependencies are settled run concurrently.
+// Packages that failed to load abort the run: a lint verdict on a
+// partially-typed tree is not trustworthy.
+func RunSuite(as []*analysis.Analyzer, pkgs []*Package, facts *FactStore) ([]Diagnostic, *RunStats, error) {
+	stats := &RunStats{Analyzer: map[string]time.Duration{}, Packages: len(pkgs)}
 	for _, pkg := range pkgs {
 		if err := pkg.Err(); err != nil {
-			return nil, fmt.Errorf("%s: %v", pkg.Path, err)
+			return nil, stats, fmt.Errorf("%s: %v", pkg.Path, err)
 		}
-		ds, err := analyzePackage(as, pkg)
-		if err != nil {
-			return nil, err
+	}
+	var (
+		mu       sync.Mutex
+		diags    []Diagnostic
+		firstErr error
+	)
+	for _, level := range dependencyLevels(pkgs) {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, pkg := range level {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(pkg *Package) {
+				defer func() { <-sem; wg.Done() }()
+				ds, err := analyzePackage(as, pkg, facts, stats)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				diags = append(diags, ds...)
+			}(pkg)
 		}
-		diags = append(diags, ds...)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, stats, firstErr
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -209,12 +290,51 @@ func Run(as []*analysis.Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, stats, nil
+}
+
+// dependencyLevels partitions pkgs into waves: a package lands in the
+// first wave where none of the loaded packages it (transitively) imports
+// is in the same or a later wave. Facts then flow strictly forward.
+func dependencyLevels(pkgs []*Package) [][]*Package {
+	loaded := map[string]*Package{}
+	for _, p := range pkgs {
+		loaded[p.Path] = p
+	}
+	level := map[string]int{}
+	var depth func(p *Package) int
+	depth = func(p *Package) int {
+		if d, ok := level[p.Path]; ok {
+			return d
+		}
+		level[p.Path] = 0 // cycle guard; go packages cannot cycle anyway
+		d := 0
+		for dep := range p.deps {
+			if dp, ok := loaded[dep]; ok && dp != p {
+				if dd := depth(dp) + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		level[p.Path] = d
+		return d
+	}
+	maxDepth := 0
+	for _, p := range pkgs {
+		if d := depth(p); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	out := make([][]*Package, maxDepth+1)
+	for _, p := range pkgs {
+		out[level[p.Path]] = append(out[level[p.Path]], p)
+	}
+	return out
 }
 
 // analyzePackage runs the analyzers on pkg in Requires order, threading
 // results through ResultOf.
-func analyzePackage(as []*analysis.Analyzer, pkg *Package) ([]Diagnostic, error) {
+func analyzePackage(as []*analysis.Analyzer, pkg *Package, facts *FactStore, stats *RunStats) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	results := map[*analysis.Analyzer]interface{}{}
 	done := map[*analysis.Analyzer]bool{}
@@ -229,7 +349,11 @@ func analyzePackage(as []*analysis.Analyzer, pkg *Package) ([]Diagnostic, error)
 				return err
 			}
 		}
-		ds, res, err := AnalyzeOne(a, pkg, results)
+		start := time.Now()
+		ds, res, err := AnalyzeOne(a, pkg, results, facts)
+		if stats != nil {
+			stats.add(a.Name, time.Since(start))
+		}
 		if err != nil {
 			return fmt.Errorf("%s: analyzer %s: %v", pkg.Path, a.Name, err)
 		}
@@ -247,9 +371,16 @@ func analyzePackage(as []*analysis.Analyzer, pkg *Package) ([]Diagnostic, error)
 
 // AnalyzeOne applies a single analyzer to a loaded package. resultOf
 // carries the results of previously-run required analyzers (may be nil
-// when the analyzer has no requirements).
-func AnalyzeOne(a *analysis.Analyzer, pkg *Package, resultOf map[*analysis.Analyzer]interface{}) ([]Diagnostic, interface{}, error) {
+// when the analyzer has no requirements); facts carries cross-package
+// analyzer facts (nil disables them). Diagnostics suppressed by an
+// //mldcslint:allow directive are returned with Allowed set rather than
+// dropped, so callers can surface the allow state.
+func AnalyzeOne(a *analysis.Analyzer, pkg *Package, resultOf map[*analysis.Analyzer]interface{}, facts *FactStore) ([]Diagnostic, interface{}, error) {
 	var diags []Diagnostic
+	if facts == nil {
+		facts = NewFactStore()
+	}
+	var factErr error
 	pass := &analysis.Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
@@ -262,24 +393,41 @@ func AnalyzeOne(a *analysis.Analyzer, pkg *Package, resultOf map[*analysis.Analy
 		ResultOf:   map[*analysis.Analyzer]interface{}{},
 		ReadFile:   os.ReadFile,
 		Report: func(d analysis.Diagnostic) {
+			allowed := false
+			if f := allowdirective.FileFor(pkg.Fset, pkg.Files, d.Pos); f != nil {
+				allowed = allowdirective.Allowed(pkg.Fset, f, d.Pos, a.Name)
+			}
 			diags = append(diags, Diagnostic{
 				Analyzer: a.Name,
 				Position: pkg.Fset.Position(d.Pos),
 				Message:  d.Message,
+				Allowed:  allowed,
 			})
 		},
-		// The suite's analyzers are single-package; facts are inert.
-		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-		ExportObjectFact:  func(types.Object, analysis.Fact) {},
-		ExportPackageFact: func(analysis.Fact) {},
-		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		ImportObjectFact: facts.importObjectFact,
+		ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+			return facts.importPackageFact(p, fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			if err := facts.exportObjectFact(obj, fact); err != nil && factErr == nil {
+				factErr = err
+			}
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			if err := facts.exportPackageFact(pkg.Types, fact); err != nil && factErr == nil {
+				factErr = err
+			}
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
 	}
 	for _, req := range a.Requires {
 		pass.ResultOf[req] = resultOf[req]
 	}
 	res, err := a.Run(pass)
+	if err == nil {
+		err = factErr
+	}
 	return diags, res, err
 }
 

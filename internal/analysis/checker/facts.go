@@ -1,0 +1,196 @@
+package checker
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A FactStore carries analyzer facts across packages within one checker
+// run. Facts are the go/analysis mechanism for interprocedural results:
+// an analyzer running on package P records a fact about one of P's
+// objects (a function returns scratch-backed memory, a struct field is
+// accessed atomically, a type is annotated immutable), and the same
+// analyzer running later on a package that imports P asks for it back.
+//
+// The driver type-checks dependency packages from compiler export data,
+// so the types.Object an importer sees for a skyline function is not the
+// same Go value as the one the source-checked skyline package produced.
+// Facts therefore cannot be keyed by object identity; they are keyed by
+// (package path, stable object path, fact type) and serialized through
+// encoding/gob — the same wire discipline the upstream driver uses to
+// store facts alongside export data, which keeps every fact type honest
+// about being serializable (unexported-field-only facts fail loudly at
+// export time, not when a future driver persists them).
+//
+// The zero value is not ready to use; call NewFactStore.
+type FactStore struct {
+	mu  sync.Mutex
+	obj map[factKey][]byte
+	pkg map[factKey][]byte
+}
+
+type factKey struct {
+	pkgPath string
+	objPath string // "" for package-level facts
+	factTy  string
+}
+
+// NewFactStore returns an empty fact store for one checker run.
+func NewFactStore() *FactStore {
+	return &FactStore{obj: map[factKey][]byte{}, pkg: map[factKey][]byte{}}
+}
+
+func encodeFact(fact analysis.Fact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(reflect.ValueOf(fact)); err != nil {
+		return nil, fmt.Errorf("encoding fact %T: %v", fact, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFact(data []byte, fact analysis.Fact) bool {
+	if data == nil {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).DecodeValue(reflect.ValueOf(fact)) == nil
+}
+
+func factType(fact analysis.Fact) string { return reflect.TypeOf(fact).String() }
+
+func (s *FactStore) exportObjectFact(obj types.Object, fact analysis.Fact) error {
+	if obj == nil || obj.Pkg() == nil {
+		return fmt.Errorf("fact %T exported for object without a package", fact)
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		// Function-local objects cannot be named from other packages;
+		// facts about them are useless across packages, so drop them.
+		return nil
+	}
+	data, err := encodeFact(fact)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obj[factKey{obj.Pkg().Path(), path, factType(fact)}] = data
+	return nil
+}
+
+func (s *FactStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return false
+	}
+	s.mu.Lock()
+	data := s.obj[factKey{obj.Pkg().Path(), path, factType(fact)}]
+	s.mu.Unlock()
+	return decodeFact(data, fact)
+}
+
+func (s *FactStore) exportPackageFact(pkg *types.Package, fact analysis.Fact) error {
+	data, err := encodeFact(fact)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pkg[factKey{pkgPath: pkg.Path(), factTy: factType(fact)}] = data
+	return nil
+}
+
+func (s *FactStore) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	s.mu.Lock()
+	data := s.pkg[factKey{pkgPath: pkg.Path(), factTy: factType(fact)}]
+	s.mu.Unlock()
+	return decodeFact(data, fact)
+}
+
+// objectPath names obj in a way that is stable across the two views of a
+// package the driver produces (type-checked from source when the package
+// is analyzed, re-imported from export data when a later package refers
+// to it):
+//
+//	Func                → "Func"
+//	(Recv).Method       → "Recv.Method"
+//	Type (struct).Field → "Type.Field" (embedded structs dot-extend)
+//
+// Only package-scope objects, their methods, and fields of package-scope
+// struct types are addressable; anything else (locals, fields of
+// anonymous types) reports ok=false and the fact stays package-private.
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	// Package-scope object (func, var, const, type).
+	if obj.Parent() == pkg.Scope() {
+		return obj.Name(), true
+	}
+	// Method: receiver base type name + method name.
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if named := namedBase(recv.Type()); named != nil {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	// Struct field: search the package's named struct types for it.
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if path, ok := fieldPath(tn.Type(), v, tn.Name(), 0); ok {
+				return path, true
+			}
+		}
+	}
+	return "", false
+}
+
+// fieldPath locates field v inside t's underlying struct (following
+// embedded structs up to a small depth) and returns "prefix.Field...".
+func fieldPath(t types.Type, v *types.Var, prefix string, depth int) (string, bool) {
+	if depth > 4 {
+		return "", false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f == v {
+			return prefix + "." + f.Name(), true
+		}
+		if path, ok := fieldPath(f.Type(), v, prefix+"."+f.Name(), depth+1); ok {
+			return path, true
+		}
+	}
+	return "", false
+}
+
+// namedBase peels pointers and returns the named type underneath, or nil.
+func namedBase(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

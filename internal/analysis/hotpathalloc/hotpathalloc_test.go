@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+// The helpers stub is listed first so its AllocFact summaries are in the
+// shared fact store before package a (the importer) is analyzed.
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotpathalloc.Analyzer,
+		"repro/internal/helpers", "a")
+}

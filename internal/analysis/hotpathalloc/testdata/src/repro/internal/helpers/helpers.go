@@ -1,0 +1,20 @@
+// Package helpers stubs a utility package: Canon allocates (and is
+// summarized with an AllocFact), Sum does not. Hot paths in importing
+// packages may call Sum but not Canon.
+package helpers
+
+// Canon returns a sorted-for-some-definition copy of xs.
+func Canon(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// Sum is allocation-free.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

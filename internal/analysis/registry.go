@@ -12,10 +12,14 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"repro/internal/analysis/anglenorm"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/epspolicy"
 	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/invariantcheck"
 	"repro/internal/analysis/obssink"
+	"repro/internal/analysis/scratchescape"
+	"repro/internal/analysis/snapshotmut"
 )
 
 // All returns the full mldcslint suite, validated against the go/analysis
@@ -23,10 +27,14 @@ import (
 func All() []*analysis.Analyzer {
 	as := []*analysis.Analyzer{
 		anglenorm.Analyzer,
+		atomicfield.Analyzer,
 		epspolicy.Analyzer,
 		floatcmp.Analyzer,
+		hotpathalloc.Analyzer,
 		invariantcheck.Analyzer,
 		obssink.Analyzer,
+		scratchescape.Analyzer,
+		snapshotmut.Analyzer,
 	}
 	if err := analysis.Validate(as); err != nil {
 		panic(err) // a malformed suite is a programming error, not an input error

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCompleteness pins the suite's meta-contract: every
+// registered analyzer documents itself and carries `// want` fixtures
+// under <name>/testdata/src, so a new analyzer cannot land in the
+// registry without tests. (Analyzer packages are named after their
+// analyzers; All() already panics on go/analysis well-formedness
+// violations, so this test only adds the repo-local conventions.)
+func TestRegistryCompleteness(t *testing.T) {
+	for _, a := range All() {
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %s has no Doc string", a.Name)
+		}
+		src := filepath.Join(a.Name, "testdata", "src")
+		fi, err := os.Stat(src)
+		if err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %s has no fixture dir %s", a.Name, src)
+			continue
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil || len(entries) == 0 {
+			t.Errorf("analyzer %s fixture dir %s is empty", a.Name, src)
+		}
+	}
+}
+
+// TestRegistryNamesMatchPackages keeps the analyzer name aligned with
+// its package directory, which the fixture lookup above and the -run
+// flag of cmd/mldcslint both rely on.
+func TestRegistryNamesMatchPackages(t *testing.T) {
+	for _, a := range All() {
+		if fi, err := os.Stat(a.Name); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %s has no matching package directory", a.Name)
+		}
+	}
+}

@@ -1,0 +1,630 @@
+// Package scratchescape enforces the skyline.Scratch lifetime contract
+// (docs/PERFORMANCE.md): scratch working memory is borrowed for the
+// duration of one call and must not outlive it.
+//
+// Two kinds of values are tracked, flow-followed through local
+// assignments to a fixpoint:
+//
+//   - *skyline.Scratch itself (type-identified, so aliased imports and
+//     locals are free), and
+//   - "views": slices backed by a Scratch's internal buffers — a direct
+//     read of a slice field on a Scratch, or the result of calling a
+//     function that returns one. Functions returning views are
+//     discovered per package and exported as cross-package facts, so
+//     engine code holding a view obtained from skyline is checked with
+//     the same rules even though the buffer fields are unexported.
+//
+// A tracked value may be passed down the stack freely (arguments bound
+// the borrow to the call). It must not escape the call: flagged are
+// stores into struct fields, package-level variables, or maps; sends on
+// channels; capture by (or being an argument to) a `go`-launched
+// closure; and returns from any function that is not a method on Scratch
+// itself (the Scratch's own methods are its accessor API — they
+// propagate the view fact to their callers instead).
+//
+// This is exactly the invariant the race detector cannot establish: a
+// scratch buffer stashed in a field is only a data race on the
+// interleavings the scheduler happens to produce, and reads of a
+// recycled arena are not races at all — just silently wrong arcs.
+package scratchescape
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+)
+
+// SkylinePath is the import path of the package owning Scratch. Fixtures
+// stub the same path so analyzer logic is identical in tests.
+const SkylinePath = "repro/internal/skyline"
+
+const Name = "scratchescape"
+
+// ViewFact marks a function whose result aliases a Scratch's internal
+// buffers; callers must treat the result as scratch-borrowed.
+type ViewFact struct{ Why string }
+
+func (*ViewFact) AFact() {}
+
+func (f *ViewFact) String() string { return "scratch view: " + f.Why }
+
+// IntoFact marks a function in the repository's *Into convention: its
+// result aliases its Param-th parameter (0-based, receiver excluded).
+// A call's result is then scratch-backed exactly when that argument is —
+// ComputeInto(dst, ...) borrows scratch memory only if dst did.
+type IntoFact struct{ Param int }
+
+func (*IntoFact) AFact() {}
+
+func (f *IntoFact) String() string { return fmt.Sprintf("result aliases parameter %d", f.Param) }
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "forbid skyline.Scratch pointers and scratch-backed slices from outliving\n" +
+		"their call: no stores to fields/globals/maps, no channel sends, no capture\n" +
+		"by go-launched closures, no returns outside Scratch's own methods",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ViewFact)(nil), (*IntoFact)(nil)},
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// viewObjs maps a local var to the reason it holds scratch-backed
+	// memory ("scratch buffer sc.arena", "result of sc.view", ...).
+	viewObjs map[types.Object]string
+	// viewFuncs maps package-local functions to the reason their result
+	// is scratch-backed.
+	viewFuncs map[*types.Func]string
+	// intoFuncs maps package-local functions to the parameter index their
+	// result aliases (the *Into convention).
+	intoFuncs map[*types.Func]int
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:      pass,
+		viewObjs:  map[types.Object]string{},
+		viewFuncs: map[*types.Func]string{},
+		intoFuncs: map[*types.Func]int{},
+	}
+	// Fixpoint: view-returning functions feed tainted locals feed
+	// view-returning functions (call chains within the package).
+	for changed := true; changed; {
+		changed = false
+		if c.propagateLocals() {
+			changed = true
+		}
+		if c.summarizeFuncs() {
+			changed = true
+		}
+	}
+	// Export facts for view-returning and result-aliases-parameter
+	// functions so importing packages see them, then emit diagnostics.
+	for fn, why := range c.viewFuncs {
+		pass.ExportObjectFact(fn, &ViewFact{Why: why})
+	}
+	for fn, idx := range c.intoFuncs {
+		pass.ExportObjectFact(fn, &IntoFact{Param: idx})
+	}
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, c.check)
+	}
+	return nil, nil
+}
+
+// isScratchType reports whether t (after pointer peeling) is the
+// skyline Scratch type.
+func isScratchType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == SkylinePath && obj.Name() == "Scratch"
+}
+
+// isScratchPtr reports whether t is *Scratch (not the value form: a
+// Scratch value embedded in a caller-owned struct is ownership, not
+// aliasing).
+func isScratchPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && isScratchType(p.Elem())
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// tainted reports whether e is a tracked value, with the reason.
+func (c *checker) tainted(e ast.Expr) (string, bool) {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && isScratchPtr(tv.Type) {
+		return "*skyline.Scratch", true
+	}
+	return c.view(e)
+}
+
+// view reports whether e is a scratch-backed slice, with the reason.
+func (c *checker) view(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		why, ok := c.viewObjs[c.pass.TypesInfo.Uses[e]]
+		return why, ok
+	case *ast.ParenExpr:
+		return c.view(e.X)
+	case *ast.SliceExpr:
+		return c.view(e.X)
+	case *ast.SelectorExpr:
+		// A slice field read off a Scratch value or pointer.
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			break
+		}
+		if isScratchType(sel.Recv()) && isSliceType(sel.Obj().Type()) {
+			return "scratch buffer ." + e.Sel.Name, true
+		}
+	case *ast.CallExpr:
+		// append(view, ...) may return the same backing array.
+		if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) > 0 {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				if b.Name() == "append" {
+					return c.view(e.Args[0])
+				}
+				break
+			}
+		}
+		if fn := calleeFunc(c.pass.TypesInfo, e); fn != nil {
+			if why, ok := c.viewFuncs[fn]; ok {
+				return "result of " + fn.Name() + " (" + why + ")", true
+			}
+			var fact ViewFact
+			if c.pass.ImportObjectFact(fn, &fact) {
+				return "result of " + fn.Name() + " (" + fact.Why + ")", true
+			}
+			idx, into := c.intoFuncs[fn]
+			if !into {
+				var ifact IntoFact
+				if c.pass.ImportObjectFact(fn, &ifact) {
+					idx, into = ifact.Param, true
+				}
+			}
+			if into && idx < len(e.Args) {
+				if why, ok := c.view(e.Args[idx]); ok {
+					return "result of " + fn.Name() + " over " + why, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// calleeFunc resolves a call's static callee, or nil (builtins, function
+// values, interface methods).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// propagateLocals taints locals assigned from views. Returns true when
+// the tainted set grew.
+func (c *checker) propagateLocals() bool {
+	info := c.pass.TypesInfo
+	changed := false
+	taint := func(id *ast.Ident, why string) {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || !isSliceType(obj.Type()) {
+			return
+		}
+		if _, done := c.viewObjs[obj]; done {
+			return
+		}
+		c.viewObjs[obj] = why
+		changed = true
+	}
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				switch {
+				case len(st.Lhs) == len(st.Rhs):
+					for i, lhs := range st.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if why, ok := c.view(st.Rhs[i]); ok {
+							taint(id, why)
+						}
+					}
+				case len(st.Rhs) == 1:
+					// view, err := f() — taint every slice-typed LHS.
+					if why, ok := c.view(st.Rhs[0]); ok {
+						for _, lhs := range st.Lhs {
+							if id, ok := lhs.(*ast.Ident); ok {
+								taint(id, why)
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					var rhs ast.Expr
+					switch {
+					case len(st.Values) == len(st.Names):
+						rhs = st.Values[i]
+					case len(st.Values) == 1:
+						rhs = st.Values[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if why, ok := c.view(rhs); ok {
+						taint(name, why)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return changed
+}
+
+// summarizeFuncs marks functions returning tracked values as view
+// functions. Returns true when the summary set grew.
+func (c *checker) summarizeFuncs() bool {
+	changed := false
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, done := c.viewFuncs[fn]; done {
+				continue
+			}
+			if why, rets := c.returnsTainted(fd); rets {
+				c.viewFuncs[fn] = why
+				changed = true
+				continue
+			}
+			if _, done := c.intoFuncs[fn]; done {
+				continue
+			}
+			if idx, ok := c.returnsParam(fd); ok {
+				c.intoFuncs[fn] = idx
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// returnsParam reports the parameter index every return statement's
+// first result (transitively, through appends, reslicings, and local
+// chains) derives from, implementing the *Into result-aliases-argument
+// summary. All returns must agree on one parameter.
+func (c *checker) returnsParam(fd *ast.FuncDecl) (int, bool) {
+	params := map[types.Object]int{}
+	if fd.Type.Params != nil {
+		idx := 0
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil && isSliceType(obj.Type()) {
+					params[obj] = idx
+				}
+				idx++
+			}
+			if len(f.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	if len(params) == 0 {
+		return 0, false
+	}
+	// Locals assigned from param-derived expressions, to a fixpoint.
+	local := map[types.Object]int{}
+	var flow func(e ast.Expr) (int, bool)
+	flow = func(e ast.Expr) (int, bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[e]
+			if idx, ok := params[obj]; ok {
+				return idx, true
+			}
+			idx, ok := local[obj]
+			return idx, ok
+		case *ast.ParenExpr:
+			return flow(e.X)
+		case *ast.SliceExpr:
+			return flow(e.X)
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) > 0 {
+				if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					return flow(e.Args[0])
+				}
+			}
+		}
+		return 0, false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, done := local[obj]; done {
+					continue
+				}
+				if _, isParam := params[obj]; isParam {
+					continue
+				}
+				if idx, ok := flow(as.Rhs[i]); ok {
+					local[obj] = idx
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	agreed, found := -1, true
+	sawReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		sawReturn = true
+		idx, ok := flow(ret.Results[0])
+		if !ok || (agreed >= 0 && agreed != idx) {
+			found = false
+			return false
+		}
+		agreed = idx
+		return true
+	})
+	if !sawReturn || !found || agreed < 0 {
+		return 0, false
+	}
+	return agreed, true
+}
+
+// returnsTainted reports whether fd has a return statement whose value is
+// a tracked view (scratch pointers are visible to callers by type alone
+// and need no summary).
+func (c *checker) returnsTainted(fd *ast.FuncDecl) (string, bool) {
+	var why string
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Do not descend into nested function literals: their returns
+		// are not fd's returns.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if w, ok := c.view(res); ok {
+				why, found = w, true
+				return false
+			}
+		}
+		return true
+	})
+	return why, found
+}
+
+// scratchMethod reports whether fd is a method whose receiver is the
+// Scratch type itself.
+func (c *checker) scratchMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	return ok && isScratchType(tv.Type)
+}
+
+func (c *checker) report(n ast.Node, why, how string) {
+	c.pass.ReportRangef(n, "%s %s; scratch memory must not outlive the call that borrowed it (copy into a caller-owned buffer) — docs/PERFORMANCE.md", why, how)
+}
+
+func (c *checker) check(n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.FuncDecl:
+		if st.Body == nil {
+			return true
+		}
+		if c.scratchMethod(st) {
+			// Scratch's own methods are its accessor API: returns are
+			// propagated as view facts, the body is still checked.
+			return true
+		}
+		scratchFn := st
+		ast.Inspect(st.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // returns inside literals are not scratchFn's
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if why, ok := c.tainted(res); ok {
+					c.report(res, why, "returned from "+scratchFn.Name.Name)
+				}
+			}
+			return true
+		})
+		return true
+	case *ast.AssignStmt:
+		n := len(st.Rhs)
+		for i, lhs := range st.Lhs {
+			var rhs ast.Expr
+			if n == len(st.Lhs) {
+				rhs = st.Rhs[i]
+			} else if n == 1 {
+				rhs = st.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			why, ok := c.tainted(rhs)
+			if !ok {
+				continue
+			}
+			switch l := lhs.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := c.pass.TypesInfo.Selections[l]; ok &&
+					sel.Kind() == types.FieldVal && isScratchType(sel.Recv()) {
+					continue // a Scratch updating its own buffers
+				}
+				c.report(st, why, "stored in field "+l.Sel.Name)
+			case *ast.Ident:
+				obj := c.pass.TypesInfo.Uses[l]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Defs[l]
+				}
+				if v, okv := obj.(*types.Var); okv && v.Parent() == c.pass.Pkg.Scope() {
+					c.report(st, why, "stored in package-level variable "+l.Name)
+				}
+			case *ast.IndexExpr:
+				if tv, ok := c.pass.TypesInfo.Types[l.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						c.report(st, why, "stored in a map")
+					}
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		tv, ok := c.pass.TypesInfo.Types[st]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		if p, okp := t.Underlying().(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		_, isStruct := t.Underlying().(*types.Struct)
+		_, isMap := t.Underlying().(*types.Map)
+		if !isStruct && !isMap {
+			return true
+		}
+		if isScratchType(t) {
+			return true
+		}
+		for _, el := range st.Elts {
+			v := el
+			if kv, okkv := el.(*ast.KeyValueExpr); okkv {
+				v = kv.Value
+			}
+			if why, okt := c.tainted(v); okt {
+				if isMap {
+					c.report(v, why, "stored in a map literal")
+				} else {
+					c.report(v, why, "stored in a struct literal field")
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if why, ok := c.tainted(st.Value); ok {
+			c.report(st, why, "sent on a channel")
+		}
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			if why, ok := c.tainted(arg); ok {
+				c.report(arg, why, "passed to a go-launched call")
+			}
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			c.checkGoCapture(lit)
+		}
+	}
+	return true
+}
+
+// checkGoCapture flags tracked values captured by a goroutine-launched
+// closure: identifiers used inside the literal but declared outside it.
+func (c *checker) checkGoCapture(lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		var why string
+		if isScratchPtr(obj.Type()) {
+			why = "*skyline.Scratch"
+		} else if w, okv := c.viewObjs[obj]; okv {
+			why = w
+		} else {
+			return true
+		}
+		seen[obj] = true
+		c.report(id, why, "captured by a go-launched closure")
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/scratchescape"
+)
+
+// The skyline stub is listed first so its ViewFact/IntoFact exports are
+// in the shared fact store before package a (the importer) is analyzed —
+// the same dependency order the mldcslint driver guarantees.
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), scratchescape.Analyzer,
+		"repro/internal/skyline", "a")
+}

@@ -1,0 +1,80 @@
+// Package a exercises the scratch-escape rules from an importing
+// package: every tracked value here is known only through cross-package
+// facts (ViewFact on Frontier, IntoFact on ComputeInto) or the *Scratch
+// type itself.
+package a
+
+import "repro/internal/skyline"
+
+type cache struct {
+	frontier []skyline.Arc
+	sc       *skyline.Scratch
+}
+
+var global []skyline.Arc
+
+var registry = map[string][]skyline.Arc{}
+
+func leakField(c *cache, sc *skyline.Scratch) {
+	v := sc.Frontier()
+	c.frontier = v // want `stored in field frontier`
+	c.sc = sc      // want `stored in field sc`
+}
+
+func leakGlobal(sc *skyline.Scratch) {
+	global = sc.Frontier() // want `stored in package-level variable global`
+}
+
+func leakMap(sc *skyline.Scratch) {
+	registry["cur"] = sc.Frontier() // want `stored in a map`
+}
+
+func leakReturn(sc *skyline.Scratch) []skyline.Arc {
+	v := sc.Frontier()
+	return v // want `returned from leakReturn`
+}
+
+func leakChan(sc *skyline.Scratch, ch chan []skyline.Arc) {
+	ch <- sc.Frontier() // want `sent on a channel`
+}
+
+func leakGo(sc *skyline.Scratch) {
+	v := sc.Frontier()
+	done := make(chan struct{})
+	go func() {
+		_ = v  // want `captured by a go-launched closure`
+		_ = sc // want `captured by a go-launched closure`
+		close(done)
+	}()
+	<-done
+}
+
+// okPassDown: passing scratch down the stack bounds the borrow to the
+// call — legal.
+func okPassDown(sc *skyline.Scratch, dst skyline.Skyline) int {
+	out := skyline.ComputeInto(dst, sc)
+	return len(out)
+}
+
+// okInto: ComputeInto's result aliases dst (IntoFact), and dst is
+// caller-owned here, so returning it is legal.
+func okInto(sc *skyline.Scratch, dst skyline.Skyline) skyline.Skyline {
+	out := skyline.ComputeInto(dst, sc)
+	return out
+}
+
+// leakIntoView: the same call becomes a leak when dst itself is a
+// borrowed view.
+func leakIntoView(sc *skyline.Scratch) skyline.Skyline {
+	borrowed := sc.Frontier()
+	out := skyline.ComputeInto(borrowed, sc)
+	return out // want `returned from leakIntoView`
+}
+
+// okCopy: copying into caller-owned memory launders the borrow.
+func okCopy(sc *skyline.Scratch) []skyline.Arc {
+	v := sc.Frontier()
+	own := make([]skyline.Arc, len(v))
+	copy(own, v)
+	return own
+}

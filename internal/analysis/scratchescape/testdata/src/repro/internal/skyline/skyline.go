@@ -1,0 +1,42 @@
+// Package skyline stubs repro/internal/skyline under its real import
+// path so the analyzer's type-identity checks behave exactly as they do
+// against the real package.
+package skyline
+
+// Arc mirrors the real arc record.
+type Arc struct{ From, To float64 }
+
+// Skyline mirrors the real named slice type.
+type Skyline []Arc
+
+// Scratch mirrors the real scratch space: arena-backed buffers reused
+// across calls.
+type Scratch struct {
+	arena []Arc
+	out   Skyline
+}
+
+// New hands out a fresh scratch; the caller owns its lifetime.
+func New() *Scratch {
+	//mldcslint:allow scratchescape constructor transfers ownership to the caller
+	return &Scratch{}
+}
+
+// view returns the first n arena arcs (an alias, not a copy).
+func (sc *Scratch) view(n int) []Arc { return sc.arena[:n] }
+
+// Frontier returns the current frontier, aliasing sc's arena. The
+// analyzer must export a ViewFact for this so importers treat the result
+// as borrowed.
+func (sc *Scratch) Frontier() []Arc { return sc.view(len(sc.arena)) }
+
+// ComputeInto writes the cover into dst and returns it (the *Into
+// convention: the result aliases dst, so it is borrowed only when dst
+// is).
+func ComputeInto(dst Skyline, sc *Scratch) Skyline {
+	dst = dst[:0]
+	for _, a := range sc.arena {
+		dst = append(dst, a)
+	}
+	return dst
+}

@@ -1,0 +1,331 @@
+// Package snapshotmut enforces the epoch-snapshot immutability contract
+// (docs/DESIGN.md, docs/SERVICE.md): once a value is published through an
+// atomic.Pointer, readers loading it must never write through it, and the
+// publisher must never write to it after the Store.
+//
+// Three write classes are flagged:
+//
+//  1. Writes through a pointer obtained from atomic.Pointer[T].Load —
+//     directly or via locals the loaded pointer flowed through. The
+//     atomic.Pointer type is identified through the type checker, so
+//     type aliases (`type snapPtr = atomic.Pointer[Snapshot]`) and
+//     embedding resolve too.
+//  2. Writes to a value lexically after it was passed to
+//     atomic.Pointer[T].Store in the same function: the Store is the
+//     publication point, and a later write races every reader. (Writes
+//     before the Store are construction and legal.)
+//  3. Any post-construction field write to a type annotated
+//     `//mldcs:immutable` (e.g. mldcsd.Snapshot, engine.Result),
+//     wherever the value came from. The annotation is exported as a
+//     cross-package fact on the type, so packages that only see the
+//     imported type are held to the same contract. Composite literals
+//     are construction and exempt.
+//
+// The race detector only catches class 1 and 2 on interleavings where a
+// reader observes the write; this analyzer rejects the write sites
+// themselves, before any scheduler gets a vote.
+package snapshotmut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/allowdirective"
+)
+
+const Name = "snapshotmut"
+
+// Directive is the comment marking a type immutable after construction.
+const Directive = "mldcs:immutable"
+
+// ImmutableFact marks a named type annotated //mldcs:immutable.
+type ImmutableFact struct{ Decl string }
+
+func (*ImmutableFact) AFact() {}
+
+func (f *ImmutableFact) String() string { return "immutable type" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: Name,
+	Doc: "forbid mutation of published snapshots: writes through atomic.Pointer.Load\n" +
+		"results, writes after atomic.Pointer.Store, and field writes to types\n" +
+		"annotated //mldcs:immutable",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ImmutableFact)(nil)},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{pass: pass, immutable: map[*types.TypeName]bool{}}
+	c.collectImmutable()
+	for _, file := range pass.Files {
+		if allowdirective.InTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	immutable map[*types.TypeName]bool
+}
+
+// collectImmutable finds //mldcs:immutable type declarations in this
+// package and exports the fact for importers.
+func (c *checker) collectImmutable() {
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(ts.Doc) && !hasDirective(ts.Comment) &&
+					!(len(gd.Specs) == 1 && hasDirective(gd.Doc)) {
+					continue
+				}
+				tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				c.immutable[tn] = true
+				c.pass.ExportObjectFact(tn, &ImmutableFact{Decl: tn.Name()})
+			}
+		}
+	}
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, cmt := range cg.List {
+		text := strings.TrimLeft(strings.TrimPrefix(cmt.Text, "//"), " \t")
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isImmutableType reports whether t (after pointer peeling) is a type
+// annotated //mldcs:immutable, in this package or an imported one.
+func (c *checker) isImmutableType(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if tn == nil {
+		return "", false
+	}
+	if c.immutable[tn] {
+		return tn.Name(), true
+	}
+	var fact ImmutableFact
+	if c.pass.ImportObjectFact(tn, &fact) {
+		return tn.Name(), true
+	}
+	return "", false
+}
+
+// atomicPointerMethod reports whether call invokes method name on
+// sync/atomic's Pointer[T] (resolved through the type checker, so type
+// aliases and embedded fields count).
+func (c *checker) atomicPointerMethod(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// checkFunc runs the flow-insensitive load-taint pass and the
+// lexical after-Store pass over one function body.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+
+	// Pass 1: objects holding atomic.Pointer.Load results, to a fixpoint
+	// over local assignment chains.
+	loaded := map[types.Object]bool{}
+	isLoaded := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return loaded[info.Uses[e]]
+		case *ast.CallExpr:
+			return c.atomicPointerMethod(e, "Load")
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isLoaded(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !loaded[obj] {
+					loaded[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: objects passed to atomic.Pointer.Store, with the lexical
+	// position of the publication.
+	stored := map[types.Object]ast.Node{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.atomicPointerMethod(call, "Store") || len(call.Args) != 1 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if u, ok := arg.(*ast.UnaryExpr); ok {
+			// Store(&x) publishes x itself.
+			arg = ast.Unparen(u.X)
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if _, seen := stored[obj]; !seen {
+					stored[obj] = call
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: flag writes.
+	report := func(n ast.Node, what, why string) {
+		c.pass.ReportRangef(n, "%s %s; published snapshots are immutable — rebuild and re-Store a fresh value instead (docs/DESIGN.md)", what, why)
+	}
+	writeBase := func(lhs ast.Expr) ast.Expr {
+		// Peel the written location down to the loaded/stored base:
+		// p.F = v, *p = v, p.F[i] = v, p.F.G = v.
+		for {
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr:
+				lhs = l.X
+			case *ast.IndexExpr:
+				lhs = l.X
+			case *ast.StarExpr:
+				lhs = l.X
+			default:
+				return lhs
+			}
+		}
+	}
+	checkWrite := func(n ast.Node, lhs ast.Expr) {
+		// Class 3: field writes to immutable-annotated types anywhere on
+		// the selector path.
+		for walk := ast.Unparen(lhs); ; {
+			var inner ast.Expr
+			switch l := walk.(type) {
+			case *ast.SelectorExpr:
+				if tv, ok := info.Types[l.X]; ok {
+					if name, imm := c.isImmutableType(tv.Type); imm {
+						report(n, "write to field "+l.Sel.Name+" of "+name,
+							"which is annotated //"+Directive)
+						return
+					}
+				}
+				inner = l.X
+			case *ast.IndexExpr:
+				inner = l.X
+			case *ast.StarExpr:
+				inner = l.X
+			case *ast.ParenExpr:
+				inner = l.X
+			default:
+				inner = nil
+			}
+			if inner == nil {
+				break
+			}
+			walk = ast.Unparen(inner)
+		}
+		// Classes 1 and 2: writes through loaded or already-stored
+		// pointers.
+		base := writeBase(lhs)
+		if base == lhs {
+			return // a plain identifier write replaces a local, not the pointee
+		}
+		id, ok := ast.Unparen(base).(*ast.Ident)
+		if !ok {
+			if call, ok := ast.Unparen(base).(*ast.CallExpr); ok && c.atomicPointerMethod(call, "Load") {
+				report(n, "write through atomic.Pointer.Load result", "(loaded snapshots are shared with every other reader)")
+			}
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if loaded[obj] {
+			report(n, "write through "+id.Name+", a pointer obtained from atomic.Pointer.Load",
+				"(loaded snapshots are shared with every other reader)")
+			return
+		}
+		if pub, ok := stored[obj]; ok && n.Pos() > pub.Pos() {
+			report(n, "write to "+id.Name+" after it was published with atomic.Pointer.Store",
+				"(readers may already hold it)")
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(st, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(st, st.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotmut"
+)
+
+// The snap stub is listed first so its ImmutableFact is in the shared
+// fact store before package a (the importer) is analyzed.
+func TestSnapshotMut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), snapshotmut.Analyzer,
+		"repro/internal/snap", "a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises the snapshot-mutation rules: writes through
+// atomic.Pointer.Load results (reached through a type alias, so the
+// analyzer must identify the type through the checker, not the source
+// text), writes after Store, and field writes to a cross-package
+// //mldcs:immutable type.
+package a
+
+import (
+	"sync/atomic"
+
+	"repro/internal/snap"
+)
+
+type state struct {
+	n    int
+	data []int
+}
+
+// statePtr hides atomic.Pointer behind an alias; the analyzer must see
+// through it.
+type statePtr = atomic.Pointer[state]
+
+var cur statePtr
+
+func bumpLoaded() {
+	s := cur.Load()
+	s.n++ // want `atomic\.Pointer\.Load`
+}
+
+func writeThroughAliasChain() {
+	p := cur.Load()
+	q := p
+	q.data[0] = 1 // want `atomic\.Pointer\.Load`
+}
+
+func storeThenWrite(next *state) {
+	next.n = 1 // construction before publication: legal
+	cur.Store(next)
+	next.n = 2 // want `after it was published`
+}
+
+func freshOK(n int) {
+	cur.Store(&state{n: n, data: []int{n}})
+}
+
+// readOK: reading a loaded snapshot is the whole point.
+func readOK() int {
+	s := cur.Load()
+	return s.n + len(s.data)
+}
+
+func mutateImmutable(s *snap.Snapshot) {
+	s.Epoch = 7 // want `annotated //mldcs:immutable`
+}
+
+func mutateImmutableSlice(s *snap.Snapshot) {
+	s.Seqs[0] = 7 // want `annotated //mldcs:immutable`
+}
+
+// buildOK: composite literals are construction, not mutation.
+func buildOK(epoch int) *snap.Snapshot {
+	return &snap.Snapshot{Epoch: epoch, Seqs: []int{epoch}}
+}

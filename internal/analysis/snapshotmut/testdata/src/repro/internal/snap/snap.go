@@ -1,0 +1,11 @@
+// Package snap stubs an epoch-snapshot package: the annotated type is
+// only ever visible to importers through the exported ImmutableFact.
+package snap
+
+// Snapshot is one published epoch of routing state.
+//
+//mldcs:immutable
+type Snapshot struct {
+	Epoch int
+	Seqs  []int
+}

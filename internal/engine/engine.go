@@ -97,6 +97,8 @@ type Stats struct {
 // computing — this is the epoch-snapshot read path mldcsd serves queries
 // from. Later passes replace per-node sub-slices, never write through
 // them, so an old snapshot stays internally consistent forever.
+//
+//mldcs:immutable
 type Result struct {
 	// Epoch numbers the pass that produced this snapshot: 1 for the first
 	// successful Compute, incremented by every later Compute or Update.
@@ -392,9 +394,12 @@ type scratch struct {
 // ownCanon returns a copy of sc.canon that outlives the scratch, carved
 // from a chunked arena so a cache-cold pass performs a handful of block
 // allocations instead of one small allocation per miss.
+//
+//mldcs:hotpath
 func (sc *scratch) ownCanon() []int32 {
 	n := len(sc.canon)
 	if cap(sc.canonArena)-len(sc.canonArena) < n {
+		//mldcslint:allow hotpathalloc arena block growth, one allocation amortized over thousands of entries
 		sc.canonArena = make([]int32, 0, max(4096, n))
 	}
 	start := len(sc.canonArena)
@@ -415,13 +420,17 @@ type nbTuple struct {
 // query, same tolerance), so Neighbors matches Graph.Neighbors bit for
 // bit; the local set is then canonicalized and solved (or replayed from
 // the cache).
+//
+//mldcs:hotpath
 func (e *Engine) computeNode(u int, sc *scratch) error {
 	var nodeSpan obs.Span
 	if m := engInstr.Load(); m != nil {
+		//mldcslint:allow hotpathalloc span begin runs only with instrumentation attached; TestComputeNodeInstrumentedAllocs bounds it
 		nodeSpan = m.spanNode.Begin()
 	}
 	hub := e.nodes[u]
 	sc.ids = sc.ids[:0]
+	//mldcslint:allow hotpathalloc closure does not escape VisitWithin, so it stays on the stack; TestComputeNodeSteadyStateAllocs pins the pass at zero
 	e.grid.VisitWithin(hub.Pos, hub.Radius, func(v int) {
 		if v == u {
 			return
@@ -471,6 +480,7 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 			e.fwd[u] = keepInts(e.fwd[u], sc.fwdBuf)
 			e.hubIn[u] = ent.hubIn
 			if nodeSpan.Sampled() {
+				//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
 				nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "cached": true})
 			}
 			return nil
@@ -492,8 +502,10 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 	// degenerate result is still caught by the invariant check below.
 	sc.sl = sc.sky.ComputeIntoUnchecked(sc.sl, sc.disks)
 	if ierr := checkInvariants(sc.sl, len(sc.disks)); ierr != nil {
+		//mldcslint:allow hotpathalloc degeneracy fallback, cold by construction (invariant violations are counted and rare)
 		e.fallbackNode(u, ierr)
 		if nodeSpan.Sampled() {
+			//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
 			nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "fallback": true})
 		}
 		return nil
@@ -534,6 +546,7 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		shard.put(sc.key, cacheEntry{hubIn: hubIn, canon: sc.ownCanon()})
 	}
 	if nodeSpan.Sampled() {
+		//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
 		nodeSpan.End(map[string]any{"node": u, "neighbors": len(sc.ids), "cover": len(sc.fwdBuf)})
 	}
 	return nil
@@ -543,6 +556,8 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 // of cur — earlier snapshots share that slice, and reusing it keeps the
 // steady-state path allocation-free — and a fresh copy of cur otherwise.
 // Engine outputs are never written through, so sharing is safe.
+//
+//mldcs:hotpath
 func keepInts(old, cur []int) []int {
 	if len(old) == len(cur) {
 		same := true
@@ -556,6 +571,7 @@ func keepInts(old, cur []int) []int {
 			return old
 		}
 	}
+	//mldcslint:allow hotpathalloc cold branch: copies only when the value set changed; steady state returns old
 	out := make([]int, len(cur))
 	copy(out, cur)
 	return out
@@ -567,12 +583,15 @@ func keepInts(old, cur []int) []int {
 // their ID order for the canonical tie-break; sort.SliceStable provides it
 // too but allocates its reflect-based swapper on every call, which is the
 // kind of per-node garbage this loop must not produce.
+//
+//mldcs:hotpath
 func sortTuples(sc *scratch) {
 	n := len(sc.tuples)
 	if n < 2 {
 		return
 	}
 	if cap(sc.tupleTmp) < n {
+		//mldcslint:allow hotpathalloc merge-buffer growth, amortized to zero once the scratch is warm
 		sc.tupleTmp = make([]nbTuple, n)
 	}
 	src, dst := sc.tuples[:n], sc.tupleTmp[:n]
@@ -640,6 +659,8 @@ func (e *Engine) fallbackNode(u int, cause error) {
 
 // appendMappedCover translates canonical cover positions back to sorted
 // node IDs, appending to dst (scratch-buffer friendly: pass dst[:0]).
+//
+//mldcs:hotpath
 func appendMappedCover(dst []int, canon []int32, tuples []nbTuple) []int {
 	for _, p := range canon {
 		dst = append(dst, tuples[p].id)

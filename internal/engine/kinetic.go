@@ -38,6 +38,8 @@ const repairMaxDiffFactor = 3
 // updateNode brings node u up to date during an Update pass: kinetic
 // repair when the cached state allows it, full recompute otherwise.
 // movedMark is Update's per-pass "did this node move" table.
+//
+//mldcs:hotpath
 func (e *Engine) updateNode(u int, sc *scratch, movedMark []bool) error {
 	st := &e.kin[u]
 	if e.cfg.DisableRepair || !st.valid || movedMark[u] {
@@ -113,6 +115,7 @@ func (e *Engine) updateNode(u int, sc *scratch, movedMark []bool) error {
 	m := engInstr.Load()
 	var t0 time.Time
 	if m != nil {
+		//mldcslint:allow hotpathalloc span begin runs only with instrumentation attached; sampling keeps the steady path quiet
 		nodeSpan = m.spanRepair.Begin()
 		t0 = time.Now()
 	}
@@ -173,6 +176,7 @@ func (e *Engine) updateNode(u int, sc *scratch, movedMark []bool) error {
 		st.valid = false
 		e.repairFB.Add(1)
 		if nodeSpan.Sampled() {
+			//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
 			nodeSpan.End(map[string]any{"node": u, "changes": changes, "abandoned": true})
 		}
 		return e.recomputeNode(u, sc)
@@ -201,6 +205,7 @@ func (e *Engine) updateNode(u int, sc *scratch, movedMark []bool) error {
 	if m != nil {
 		m.repairSeconds.Observe(time.Since(t0))
 		if nodeSpan.Sampled() {
+			//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
 			nodeSpan.End(map[string]any{"node": u, "changes": changes, "arcs": len(st.sl)})
 		}
 	}
@@ -209,6 +214,8 @@ func (e *Engine) updateNode(u int, sc *scratch, movedMark []bool) error {
 
 // recomputeNode is updateNode's slow path: the ordinary full per-node
 // compute (which re-seeds the kinetic state as a side effect), counted.
+//
+//mldcs:hotpath
 func (e *Engine) recomputeNode(u int, sc *scratch) error {
 	e.recomputed.Add(1)
 	return e.computeNode(u, sc)
@@ -218,6 +225,8 @@ func (e *Engine) recomputeNode(u int, sc *scratch) error {
 // presence; ids is in cache order, so this is a linear scan — bounded by
 // the neighborhood size, and only run for the handful of changed
 // neighbors of a repaired node.
+//
+//mldcs:hotpath
 func findSlot(ids []int, v int) int {
 	for i, id := range ids {
 		if id == v {

@@ -1,0 +1,23 @@
+//go:build mldcsmutate
+
+package engine
+
+import "sync/atomic"
+
+// mutateSnapshot is the snapshot-immutability canary: it loads the
+// published *Result and writes through it — the exact bug class
+// snapshotmut rejects statically and TestSnapshotConsistencyUnderUpdate
+// observes at runtime. The write is deliberately NOT suppressed with
+// //mldcslint:allow: the canary test lints this build and fails if
+// snapshotmut ever stops flagging it. Never ships — the mldcsmutate tag
+// exists only for mutation-sensitivity runs (see docs/TESTING.md).
+func mutateSnapshot(latest *atomic.Pointer[Result]) bool {
+	r := latest.Load()
+	for u := range r.Forwarding {
+		if len(r.Forwarding[u]) > 0 {
+			r.Forwarding[u][0] = -1 // snapshotmut canary write
+			return true
+		}
+	}
+	return false
+}

@@ -101,6 +101,8 @@ func (c Config) withDefaults() Config {
 // Snapshot is one published epoch: the dense node set, its external-ID
 // mapping, and the engine result computed from exactly that set. A
 // snapshot is immutable; queries read one snapshot and nothing else.
+//
+//mldcs:immutable
 type Snapshot struct {
 	// Epoch is the engine pass number (engine.Result.Epoch); 0 means "no
 	// batch applied yet" and carries an empty world.

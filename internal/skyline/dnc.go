@@ -86,6 +86,8 @@ func Merge(disks []geom.Disk, s1, s2 Skyline) Skyline {
 // scratch. With coalesce false, Step 3 is skipped (the A1 ablation, never
 // instrumented). A non-nil tie receives the kinetic-repair tie report
 // (see resolveSpan); the full compute path passes nil.
+//
+//mldcs:hotpath
 func mergeInto(dst Skyline, sc *Scratch, disks []geom.Disk, s1, s2 Skyline, coalesce bool, ins *skyMetrics, tie *bool) Skyline {
 	// Step 1: merged breakpoint sequence. Both inputs carry their arcs in
 	// increasing angle order, so one two-pointer pass yields the sorted

@@ -91,6 +91,8 @@ func MoveDisk(disks []geom.Disk, sl Skyline, mv int) (Skyline, error) {
 // the Scratch's internal buffers; the caller vouches that disks[ins] is a
 // valid hub-containing disk. Unlike InsertDisk, ins may be any index, not
 // just the last.
+//
+//mldcs:hotpath
 func (sc *Scratch) InsertDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, ins int, tie *bool) Skyline {
 	return insertOneInto(dst, disks, sl, ins, skyInstr.Load(), tie)
 }
@@ -164,6 +166,8 @@ func spanFloor(d geom.Disk, a, b float64) float64 {
 // The result references original disk indices (rm never appears). At least
 // one other disk must exist, dst must not alias sl or the Scratch's
 // internal buffers, and sl must be valid; no heap allocation once warm.
+//
+//mldcs:hotpath
 func (sc *Scratch) RemoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, rm int, tie *bool) Skyline {
 	out := dst[:0]
 	for i := 0; i < len(sl); {
@@ -198,6 +202,8 @@ func (sc *Scratch) RemoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, rm
 // remove-then-insert pays for a runner-up fight and a second full walk.
 // Same contract as the other Into variants: unchecked, alias-free dst,
 // zero allocations once warm.
+//
+//mldcs:hotpath
 func (sc *Scratch) MoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, mv int, tie *bool) Skyline {
 	if len(disks) == 1 {
 		// Nothing else contributes: the moved disk owns the whole circle.
@@ -258,6 +264,8 @@ func (sc *Scratch) MoveDiskInto(dst Skyline, disks []geom.Disk, sl Skyline, mv i
 // cached skyline: outside its freed spans the surviving arcs were maximal
 // over a superset of the remaining disks, so only the freed spans need
 // re-exposure.
+//
+//mldcs:hotpath
 func (sc *Scratch) resolveFreedSpan(out Skyline, disks []geom.Disk, rm int, a, b float64, tie *bool) Skyline {
 	best := bestAtExcept(disks, rm, (a+b)/2, tie)
 	if geom.AngleSliver(a, b) {

@@ -48,7 +48,10 @@ type computeFrame struct {
 // the returned result — instead of O(n log n) buffer churn.
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 
-func getScratch() *Scratch   { return scratchPool.Get().(*Scratch) }
+func getScratch() *Scratch {
+	//mldcslint:allow scratchescape pool accessor; every caller pairs it with putScratch before returning
+	return scratchPool.Get().(*Scratch)
+}
 func putScratch(sc *Scratch) { scratchPool.Put(sc) }
 
 // ComputeInto computes the skyline of a local disk set into dst[:0],
@@ -61,6 +64,8 @@ func putScratch(sc *Scratch) { scratchPool.Put(sc) }
 // The result never aliases the Scratch's internal buffers, so it stays
 // valid across later calls on the same Scratch as long as the caller does
 // not pass it back as dst.
+//
+//mldcs:hotpath
 func (sc *Scratch) ComputeInto(dst Skyline, disks []geom.Disk) (Skyline, error) {
 	view, err := sc.view(disks)
 	if err != nil {
@@ -78,6 +83,8 @@ func (sc *Scratch) ComputeInto(dst Skyline, disks []geom.Disk) (Skyline, error) 
 // re-proving the precondition would cost. On garbage input the result is
 // unspecified (callers with a runtime invariant check, like the engine's
 // degeneracy fallback, degrade safely).
+//
+//mldcs:hotpath
 func (sc *Scratch) ComputeIntoUnchecked(dst Skyline, disks []geom.Disk) Skyline {
 	return append(dst[:0], sc.viewUnchecked(disks)...)
 }
@@ -94,6 +101,8 @@ func (sc *Scratch) view(disks []geom.Disk) (Skyline, error) {
 
 // viewUnchecked is view after validation (or with the caller vouching for
 // the precondition).
+//
+//mldcs:hotpath
 func (sc *Scratch) viewUnchecked(disks []geom.Disk) Skyline {
 	m := skyInstr.Load()
 	if m == nil {
@@ -116,6 +125,8 @@ func (sc *Scratch) viewUnchecked(disks []geom.Disk) Skyline {
 // traversal order and midpoint splits are identical to the old recursive
 // version, so results are bit-for-bit unchanged. depth seeds the
 // recursion-depth gauge (ComputeParallel passes its fan-out depth).
+//
+//mldcs:hotpath
 func (sc *Scratch) compute(disks []geom.Disk, lo, hi int, m *skyMetrics, depth int) Skyline {
 	sc.arena = sc.arena[:0]
 	fr := sc.frames[:0]
