@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepSmoke runs a tiny matrix end-to-end and validates the report
+// schema: every requested (cores, workers, workload, contention) cell is
+// present with quantiles and imbalance stats populated.
+func TestSweepSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-out", out,
+		"-cores", "1",
+		"-workers", "1,2",
+		"-workloads", "uniform,zipf",
+		"-contention", "1.2",
+		"-nodes", "400",
+		"-ticks", "3",
+		"-benchtime", "1x",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 workers × 2 workload points)", len(rep.Cells))
+	}
+	type point struct {
+		workers    int
+		workload   string
+		contention float64
+	}
+	want := map[point]bool{
+		{1, "uniform", 0}: false, {2, "uniform", 0}: false,
+		{1, "zipf", 1.2}: false, {2, "zipf", 1.2}: false,
+	}
+	for _, c := range rep.Cells {
+		p := point{c.Workers, c.Workload, c.Contention}
+		seen, ok := want[p]
+		if !ok || seen {
+			t.Fatalf("unexpected or duplicate cell %+v", p)
+		}
+		want[p] = true
+		if c.Cores != 1 {
+			t.Errorf("cell %+v: cores = %d, want 1", p, c.Cores)
+		}
+		if c.Nodes <= 0 {
+			t.Errorf("cell %+v: nodes = %d", p, c.Nodes)
+		}
+		if !(c.TickP50MS > 0) || !(c.TickP99MS >= c.TickP50MS) {
+			t.Errorf("cell %+v: bad quantiles p50=%g p99=%g", p, c.TickP50MS, c.TickP99MS)
+		}
+		if !(c.TickP999MS >= c.TickP90MS) {
+			t.Errorf("cell %+v: p999 %g < p90 %g", p, c.TickP999MS, c.TickP90MS)
+		}
+		if !(c.ComputeMS > 0) {
+			t.Errorf("cell %+v: compute_ms = %g", p, c.ComputeMS)
+		}
+		if c.Workers > 1 && !(c.WorkerImbalance >= 1) {
+			t.Errorf("cell %+v: imbalance = %g, want ≥ 1 on multi-worker ticks", p, c.WorkerImbalance)
+		}
+	}
+}
+
+// TestSweepDeterministicWorkload pins that two runs over the same seed
+// measure the same deployment (node counts equal across all cells).
+func TestSweepDeterministicWorkload(t *testing.T) {
+	nodes := func(seed string) int {
+		out := filepath.Join(t.TempDir(), "sweep.json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-out", out, "-cores", "1", "-workers", "1", "-workloads", "uniform",
+			"-nodes", "300", "-ticks", "2", "-benchtime", "1x", "-seed", seed,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep sweepReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Cells[0].Nodes
+	}
+	if a, b := nodes("7"), nodes("7"); a != b {
+		t.Errorf("same seed gave %d vs %d nodes", a, b)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-benchtime", "3s"},
+		{"-workers", "0"},
+		{"-workloads", "gaussian"},
+		{"-workloads", "zipf", "-contention", "0"},
+		{"-cores", "-1"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("args %v: no error message", args)
+		}
+	}
+}
+
+func TestWorkloadPoints(t *testing.T) {
+	pts, err := workloadPoints("uniform,zipf", []float64{0, 0.8, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3 (uniform + two zipf)", len(pts))
+	}
+	if pts[0].workload != "uniform" || pts[0].contention != 0 {
+		t.Errorf("first point = %+v, want uniform/0", pts[0])
+	}
+	if pts[1].contention != 0.8 || pts[2].contention != 1.5 {
+		t.Errorf("zipf points = %+v, %+v", pts[1], pts[2])
+	}
+	if _, err := workloadPoints("", nil); err == nil {
+		t.Error("empty workload list accepted")
+	}
+}
+
+func TestParseBenchtime(t *testing.T) {
+	if n, err := parseBenchtime("5x"); err != nil || n != 5 {
+		t.Errorf("parseBenchtime(5x) = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "x", "0x", "-2x", "1s", "2"} {
+		if _, err := parseBenchtime(bad); err == nil {
+			t.Errorf("parseBenchtime(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSweepOutputMentionsCells sanity-checks the human-readable progress
+// lines so CI logs stay greppable.
+func TestSweepOutputMentionsCells(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-out", out, "-cores", "1", "-workers", "1", "-workloads", "uniform",
+		"-nodes", "300", "-ticks", "2", "-benchtime", "1x",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "cores=1 workers=1 uniform/c=0") {
+		t.Errorf("progress line missing:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote 1 cells") {
+		t.Errorf("summary line missing:\n%s", stdout.String())
+	}
+}

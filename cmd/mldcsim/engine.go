@@ -14,14 +14,16 @@ import (
 
 // engineOpts carries the -engine mode flags.
 type engineOpts struct {
-	nodes   int     // target network size
-	degree  float64 // target mean 1-hop degree
-	model   string  // "homogeneous" or "heterogeneous"
-	workers int     // engine worker count (0 = GOMAXPROCS)
-	cache   bool    // enable the skyline cache
-	steps   int     // mobility steps to run through the incremental path
-	verify  bool    // cross-check against the sequential per-node pipeline
-	seed    int64
+	nodes      int     // target network size
+	degree     float64 // target mean 1-hop degree
+	model      string  // "homogeneous" or "heterogeneous"
+	workers    int     // engine worker count (0 = GOMAXPROCS)
+	cache      bool    // enable the skyline cache
+	steps      int     // mobility steps to run through the incremental path
+	verify     bool    // cross-check against the sequential per-node pipeline
+	contention float64 // zipf hotspot skew (0 = uniform deployment + waypoint)
+	hotspots   int     // hotspot cluster count when contention > 0
+	seed       int64
 }
 
 // runEngine exercises the whole-network engine from the command line: one
@@ -42,9 +44,22 @@ func runEngine(o engineOpts) error {
 	// Scale the region so the density calibration yields ≈ o.nodes nodes.
 	dcfg.Side = math.Sqrt(float64(o.nodes) * math.Pi * dcfg.ExpectedMinRadiusSq() / o.degree)
 	rng := rand.New(rand.NewSource(o.seed))
-	nodes, err := deploy.Generate(dcfg, rng)
+	// -contention > 0 swaps the uniform deployment for the zipf hotspot
+	// workload (skewed placement now, skewed movers in the step loop);
+	// contention 0 generates byte-for-byte the uniform deployment.
+	hw, err := mobility.NewHotspotWorkload(mobility.HotspotConfig{
+		Deploy:     dcfg,
+		Hotspots:   o.hotspots,
+		Contention: o.contention,
+		Spread:     0.6,
+		MoveFrac:   0.02,
+	}, rng)
 	if err != nil {
 		return err
+	}
+	nodes := hw.Nodes()
+	if o.contention > 0 {
+		fmt.Printf("workload: zipf hotspots (contention %g, %d clusters)\n", o.contention, o.hotspots)
 	}
 
 	eng := mldcs.NewEngine(mldcs.EngineConfig{Workers: o.workers, Cache: o.cache})
@@ -76,24 +91,41 @@ func runEngine(o engineOpts) error {
 	}
 
 	if o.steps > 0 {
-		model, err := mobility.NewModel(mobility.WaypointConfig{
-			Side: dcfg.Side, SpeedMin: 0.5, SpeedMax: 1.5, PauseMax: 0.5,
-		}, nodes, rng)
-		if err != nil {
-			return err
+		// Uniform runs walk random waypoints; contended runs use the
+		// hotspot mover process, which drifts mostly hot-cluster nodes.
+		var nextNodes func() ([]network.Node, error)
+		if o.contention > 0 {
+			movers := 1 + len(nodes)/100
+			nextNodes = func() ([]network.Node, error) {
+				hw.Step(movers, rng)
+				return hw.Nodes(), nil
+			}
+		} else {
+			model, err := mobility.NewModel(mobility.WaypointConfig{
+				Side: dcfg.Side, SpeedMin: 0.5, SpeedMax: 1.5, PauseMax: 0.5,
+			}, nodes, rng)
+			if err != nil {
+				return err
+			}
+			nextNodes = func() ([]network.Node, error) {
+				model.Step(0.2)
+				return model.Nodes(), nil
+			}
 		}
 		for step := 1; step <= o.steps; step++ {
-			model.Step(0.2)
-			cur := model.Nodes()
+			cur, err := nextNodes()
+			if err != nil {
+				return err
+			}
 			start := time.Now()
 			res, err = eng.Update(cur)
 			if err != nil {
 				return err
 			}
 			s := res.Stats
-			fmt.Printf("step %d: %d moved, %d dirty (%.1f%% of network), update %v\n",
+			fmt.Printf("step %d: %d moved, %d dirty (%.1f%% of network), update %v, imbalance %.2f, steals %d\n",
 				step, s.Moved, s.Dirty, 100*float64(s.Dirty)/float64(s.Nodes),
-				time.Since(start).Round(time.Microsecond))
+				time.Since(start).Round(time.Microsecond), s.WorkerImbalance, s.Steals)
 			if o.verify {
 				if err := verifyEngine(cur, res); err != nil {
 					return fmt.Errorf("step %d: %w", step, err)

@@ -9,6 +9,7 @@
 //	mldcsim -exp fig5.2 -csv out.csv        # also write the series as CSV
 //	mldcsim -demo -svg skyline.svg          # render a random local set's skyline
 //	mldcsim -engine -nodes 100000 -steps 5 -verify  # whole-network engine + mobility
+//	mldcsim -engine -contention 1.2 -hotspots 8 -steps 5  # zipf hotspot workload
 //	mldcsim -exp fig5.1 -metrics-out m.json # dump engine metrics (see docs/OBSERVABILITY.md)
 //	mldcsim -exp all -events trace.jsonl -pprof :6060  # event trace + live profiling
 //
@@ -62,6 +63,8 @@ func main() {
 		engCache   = flag.Bool("cache", true, "with -engine: enable the skyline cache")
 		engSteps   = flag.Int("steps", 0, "with -engine: random-waypoint steps through the incremental path")
 		engVerify  = flag.Bool("verify", false, "with -engine: cross-check output against the sequential per-node pipeline")
+		engCont    = flag.Float64("contention", 0, "with -engine: zipf contention exponent — skew placement and movers into hotspots (0 = uniform)")
+		engHot     = flag.Int("hotspots", 8, "with -engine: hotspot cluster count when -contention > 0")
 
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON to this file on completion")
 		eventsPath = flag.String("events", "", "write a JSONL event trace (broadcast rounds, experiment runs) to this file")
@@ -96,14 +99,16 @@ func main() {
 	}
 	if *engineMode {
 		err := runEngine(engineOpts{
-			nodes:   *engNodes,
-			degree:  *engDegree,
-			model:   *engModel,
-			workers: *workers,
-			cache:   *engCache,
-			steps:   *engSteps,
-			verify:  *engVerify,
-			seed:    *seed,
+			nodes:      *engNodes,
+			degree:     *engDegree,
+			model:      *engModel,
+			workers:    *workers,
+			cache:      *engCache,
+			steps:      *engSteps,
+			verify:     *engVerify,
+			contention: *engCont,
+			hotspots:   *engHot,
+			seed:       *seed,
 		})
 		if err != nil {
 			fatal(err)

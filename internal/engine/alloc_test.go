@@ -171,3 +171,141 @@ func TestEngineDifferentialFuzzSeeds(t *testing.T) {
 		}
 	}
 }
+
+// updatePassHarness drives runUpdatePass the way Update does — wiggle a
+// fixed mover set by a tiny repairable slide, mark the dirty
+// neighborhoods, run the batched pass, reset the per-pass tables —
+// without the snapshot copy, so the tests below pin the cell-batching and
+// chunked-claiming machinery alone.
+type updatePassHarness struct {
+	e         *Engine
+	movers    []int
+	dirty     []bool
+	movedMark []bool
+	list      []int
+}
+
+func newUpdatePassHarness(t *testing.T, workers, n, k int) *updatePassHarness {
+	t.Helper()
+	nodes, _, err := benchDeployment(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: workers})
+	if _, err := e.Compute(nodes); err != nil {
+		t.Fatal(err)
+	}
+	h := &updatePassHarness{
+		e:         e,
+		dirty:     make([]bool, len(nodes)),
+		movedMark: make([]bool, len(nodes)),
+	}
+	for u := range nodes {
+		if len(e.nbrs[u]) > 0 {
+			h.movers = append(h.movers, u)
+			if len(h.movers) == k {
+				break
+			}
+		}
+	}
+	if len(h.movers) < k {
+		t.Fatalf("deployment too sparse: %d connected nodes, want %d movers", len(h.movers), k)
+	}
+	if cap(e.updCand) < len(nodes) {
+		e.updCand = make([][]int, len(nodes))
+	}
+	return h
+}
+
+// pass runs one batched update pass over the movers' dirty neighborhoods.
+func (h *updatePassHarness) pass() error {
+	e := h.e
+	clear(h.dirty)
+	cand := e.updCand[:len(e.nodes)]
+	for _, m := range h.movers {
+		e.nodes[m].Pos.X += 1e-9
+		e.grid.Move(m, e.nodes[m].Pos)
+		h.dirty[m] = true
+		h.movedMark[m] = true
+		for _, v := range e.nbrs[m] {
+			h.dirty[v] = true
+			cand[v] = append(cand[v], m)
+		}
+	}
+	h.list = h.list[:0]
+	for u, d := range h.dirty {
+		if d {
+			h.list = append(h.list, u)
+		}
+	}
+	_, err := e.runUpdatePass(h.list, h.movedMark)
+	for _, m := range h.movers {
+		h.movedMark[m] = false
+	}
+	for _, u := range h.list {
+		cand[u] = cand[u][:0]
+	}
+	return err
+}
+
+// A steady-state batched update pass — group the dirty list by owning
+// cell, merge-sort the batches, fan them over the pool, repair or
+// recompute each node — must not allocate on one worker: every buffer
+// (updEnts, updEntsTmp, updSpans, the pass closure, the claim queues, the
+// worker scratches) is reused across passes.
+func TestUpdatePassSteadyStateAllocs(t *testing.T) {
+	h := newUpdatePassHarness(t, 1, 400, 16)
+	for i := 0; i < 5; i++ {
+		if err := h.pass(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.e.repaired.Load() == 0 {
+		t.Fatal("no repairs recorded; the harness is not exercising the repair path")
+	}
+	var passErr error
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := h.pass(); err != nil {
+			passErr = err
+		}
+	})
+	if passErr != nil {
+		t.Fatal(passErr)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state update pass allocated %.1f objects/run, want 0", allocs)
+	}
+}
+
+// Multi-worker passes pay a fixed per-pass overhead (the worker goroutine
+// spawns) but nothing per mover: growing the mover set 8× must not grow
+// the allocation count. An accidental per-node or per-batch allocation in
+// the batching path shows up here as allocs scaling with the mover count
+// (one object per extra mover would add ≥ 56 allocations per run).
+func TestUpdatePassAllocsIndependentOfMovers(t *testing.T) {
+	measure := func(k int) float64 {
+		h := newUpdatePassHarness(t, 4, 400, k)
+		for i := 0; i < 5; i++ {
+			if err := h.pass(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var passErr error
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := h.pass(); err != nil {
+				passErr = err
+			}
+		})
+		if passErr != nil {
+			t.Fatal(passErr)
+		}
+		return allocs
+	}
+	small, large := measure(8), measure(64)
+	if large > small+16 {
+		t.Errorf("allocs grew with mover count: 8 movers → %.1f, 64 movers → %.1f", small, large)
+	}
+	if small > 32 {
+		t.Errorf("multi-worker pass allocates %.1f objects/run; expected a small fixed overhead", small)
+	}
+}

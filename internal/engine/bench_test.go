@@ -159,6 +159,9 @@ type benchReportEntry struct {
 	NodeP90US     float64 `json:"node_p90_us"`
 	NodeP99US     float64 `json:"node_p99_us"`
 	NodeP999US    float64 `json:"node_p999_us"`
+	// Worker-pool load balance of the last engine pass (see Stats).
+	WorkerImbalance float64 `json:"worker_imbalance,omitempty"`
+	Steals          int     `json:"steals,omitempty"`
 }
 
 // TestEngineBenchReport writes the machine-readable engine benchmark used
@@ -198,12 +201,13 @@ func TestEngineBenchReport(t *testing.T) {
 	// limits, taskset, GOMAXPROCS=n) silently comparable to full-machine
 	// runs in the trajectory.
 	report := struct {
-		Nodes      int                `json:"nodes"`
-		NumCPU     int                `json:"num_cpu"`
-		Gomaxprocs int                `json:"gomaxprocs"`
-		Workers    int                `json:"workers"`
-		Workloads  []benchReportEntry `json:"workloads"`
-		Update     []benchUpdateEntry `json:"update"`
+		Nodes      int                 `json:"nodes"`
+		NumCPU     int                 `json:"num_cpu"`
+		Gomaxprocs int                 `json:"gomaxprocs"`
+		Workers    int                 `json:"workers"`
+		Workloads  []benchReportEntry  `json:"workloads"`
+		Update     []benchUpdateEntry  `json:"update"`
+		Scaling    []benchScalingEntry `json:"scaling"`
 	}{Nodes: n, NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Workers: workers}
 
 	// Uniform random workload: the parallel speedup story.
@@ -240,6 +244,14 @@ func TestEngineBenchReport(t *testing.T) {
 		repair.SpeedupP99 = recomp.TickP99MS / repair.TickP99MS
 	}
 	report.Update = append(report.Update, repair, recomp)
+
+	// Scaling section: uniform-random Compute plus a zipf-contended
+	// Update stream at 1/2/4/8/16 workers, speedups relative to the
+	// 1-worker row. Worker counts beyond GOMAXPROCS still run (the pool
+	// time-slices them), so the section is populated — and honest, since
+	// the machine fields record the real parallelism cap — even on a
+	// single-core box.
+	report.Scaling = benchScaling(t, nodes, n)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -304,6 +316,9 @@ func benchWorkload(t *testing.T, name string, nodes []network.Node, workers int)
 		NodeP90US:    nodeLat.P90 * 1e6,
 		NodeP99US:    nodeLat.P99 * 1e6,
 		NodeP999US:   nodeLat.P999 * 1e6,
+
+		WorkerImbalance: res.Stats.WorkerImbalance,
+		Steals:          res.Stats.Steals,
 	}
 	if engMS > 0 {
 		e.Speedup = seqMS / engMS
@@ -331,6 +346,10 @@ type benchUpdateEntry struct {
 	RepairFallbacks int     `json:"repair_fallbacks"`
 	SpeedupP50      float64 `json:"speedup_p50,omitempty"`
 	SpeedupP99      float64 `json:"speedup_p99,omitempty"`
+	// Worst-tick worker imbalance (max/mean nodes) and total stolen
+	// chunks across the run's Update passes.
+	WorkerImbalance float64 `json:"worker_imbalance,omitempty"`
+	Steals          int     `json:"steals,omitempty"`
 }
 
 // moveOp is one scripted displacement: node idx ends the tick at pos. The
@@ -395,11 +414,118 @@ func benchUpdateRun(t *testing.T, name string, nodes []network.Node, scripts [][
 		entry.Repaired += res.Stats.Repaired
 		entry.Recomputed += res.Stats.Recomputed
 		entry.RepairFallbacks += res.Stats.RepairFallbacks
+		entry.Steals += res.Stats.Steals
+		if res.Stats.WorkerImbalance > entry.WorkerImbalance {
+			entry.WorkerImbalance = res.Stats.WorkerImbalance
+		}
 	}
 	sort.Float64s(ticksMS)
 	entry.TickP50MS = benchQuantile(ticksMS, 0.50)
 	entry.TickP99MS = benchQuantile(ticksMS, 0.99)
 	return entry
+}
+
+// benchScalingEntry is one worker count's row in the report's scaling
+// section: uniform-random Compute wall time (median of 3) with its
+// speedup vs the 1-worker row, plus a zipf-contended Update stream's tick
+// quantiles — the workload whose hot cells work-stealing exists for.
+type benchScalingEntry struct {
+	Workers         int     `json:"workers"`
+	ComputeMS       float64 `json:"compute_ms"`
+	Speedup         float64 `json:"speedup"`
+	WorkerImbalance float64 `json:"worker_imbalance"`
+	Steals          int     `json:"steals"`
+	ZipfNodes       int     `json:"zipf_nodes"`
+	ZipfTickP50MS   float64 `json:"zipf_tick_p50_ms"`
+	ZipfTickP99MS   float64 `json:"zipf_tick_p99_ms"`
+	ZipfImbalance   float64 `json:"zipf_worker_imbalance"`
+	ZipfSteals      int     `json:"zipf_steals"`
+}
+
+// benchScalingWorkers is the worker axis of the scaling section.
+var benchScalingWorkers = []int{1, 2, 4, 8, 16}
+
+func benchScaling(t *testing.T, nodes []network.Node, n int) []benchScalingEntry {
+	t.Helper()
+	// The zipf workload is capped: its hotspots have fixed spread, so
+	// in-cluster degree — and per-node solve cost — grows with n, and an
+	// uncapped run would dwarf the rest of the report.
+	zipfN := min(n, 5000)
+	var out []benchScalingEntry
+	for _, w := range benchScalingWorkers {
+		var eng [benchPasses]float64
+		var res *Result
+		for pass := 0; pass < benchPasses; pass++ {
+			start := time.Now()
+			r, err := New(Config{Workers: w, Cache: true}).Compute(nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng[pass] = float64(time.Since(start).Microseconds()) / 1000
+			res = r
+		}
+		e := benchScalingEntry{
+			Workers:         w,
+			ComputeMS:       median3(eng),
+			WorkerImbalance: res.Stats.WorkerImbalance,
+			Steals:          res.Stats.Steals,
+		}
+		benchZipfUpdate(t, &e, zipfN, w)
+		out = append(out, e)
+	}
+	base := out[0].ComputeMS
+	for i := range out {
+		if out[i].ComputeMS > 0 {
+			out[i].Speedup = base / out[i].ComputeMS
+		}
+	}
+	return out
+}
+
+// benchZipfUpdate runs a zipf-contended (hotspot) mobility stream against
+// one worker count and fills the entry's zipf fields. The same seed drives
+// every worker count, so all rows measure the identical workload.
+func benchZipfUpdate(t *testing.T, e *benchScalingEntry, n, workers int) {
+	t.Helper()
+	const degree = 10
+	dcfg := deploy.PaperConfig(deploy.Heterogeneous, degree)
+	dcfg.Side = math.Sqrt(float64(n) * math.Pi * dcfg.ExpectedMinRadiusSq() / degree)
+	w, err := mobility.NewHotspotWorkload(mobility.HotspotConfig{
+		Deploy:     dcfg,
+		Hotspots:   8,
+		Contention: 1.2,
+		Spread:     0.6,
+		MoveFrac:   0.02,
+	}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Workers: workers, Cache: true})
+	res, err := eng.Compute(w.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ZipfNodes = res.Stats.Nodes
+	const ticks = 15
+	movers := 1 + e.ZipfNodes/100
+	mrng := rand.New(rand.NewSource(6))
+	ticksMS := make([]float64, 0, ticks)
+	for i := 0; i < ticks; i++ {
+		w.Step(movers, mrng)
+		start := time.Now()
+		res, err = eng.Update(w.Nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticksMS = append(ticksMS, float64(time.Since(start).Microseconds())/1000)
+		e.ZipfSteals += res.Stats.Steals
+		if res.Stats.WorkerImbalance > e.ZipfImbalance {
+			e.ZipfImbalance = res.Stats.WorkerImbalance
+		}
+	}
+	sort.Float64s(ticksMS)
+	e.ZipfTickP50MS = benchQuantile(ticksMS, 0.50)
+	e.ZipfTickP99MS = benchQuantile(ticksMS, 0.99)
 }
 
 // benchQuantile reads quantile q from an ascending-sorted slice

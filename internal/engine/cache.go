@@ -35,26 +35,49 @@ const cacheShardCount = 16
 // insert (~1 µs), so the break-even hit rate is a few percent; below
 // 1/16 the cache is pure overhead — the regime uniform random float64
 // deployments live in, where fingerprints essentially never collide.
-// The decision is per worker per pass (scratches are fresh each pass),
-// so structured workloads — and later passes over the same cache — are
+// The decision is per worker per pass (the pass driver resets the flag
+// and the counters each pass even though scratches persist), so
+// structured workloads — and later passes over the same cache — are
 // unaffected: their windows see near-100% hits and never trip it.
 const (
 	cacheBypassWindow = 1024
 	cacheBypassRatio  = 16
 )
 
+// l1MaxEntries bounds each worker's private L1 front over the shared
+// cache (scratch.l1): past the cap new fingerprints stay shared-only.
+// 4096 entries cover every structured workload in the test and bench
+// suites while keeping the per-worker footprint small.
+const l1MaxEntries = 4096
+
 // skyCache is a sharded fingerprint → cover map. Shards cut lock
-// contention between shard workers; lookups take only a read lock.
-// All methods are safe on a nil receiver (cache disabled).
+// contention between shard workers; lookups take only a read lock, and
+// each worker's scratch keeps a private L1 front (scratch.l1) so repeat
+// hits never reach a shard at all. All methods are safe on a nil
+// receiver (cache disabled).
 type skyCache struct {
 	shards [cacheShardCount]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	// The cumulative hit/miss counters live on their own cache lines:
+	// they are only written by per-worker flushes, but a shared line
+	// would still ping-pong between the flushing workers at pass ends.
+	hits   paddedCounter
+	misses paddedCounter
 }
 
+// paddedCounter is an atomic counter alone on its cache line so adjacent
+// counters never false-share.
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// cacheShard is one lock-striped slice of the map. The trailing pad
+// spreads adjacent shards across cache lines so one shard's lock traffic
+// does not invalidate its neighbors' (no false sharing between stripes).
 type cacheShard struct {
 	mu sync.RWMutex
 	m  map[string]cacheEntry
+	_  [64]byte
 }
 
 // cacheEntry is a solved local set in canonical coordinates: whether the
@@ -141,17 +164,33 @@ func (s *cacheShard) put(key []byte, e cacheEntry) {
 	s.mu.Unlock()
 }
 
+// l1Put inserts an entry into the worker's private L1 front, creating
+// the map on first use and refusing inserts past l1MaxEntries. Entries
+// are immutable and the shared cache never evicts, so a promoted copy
+// can never go stale.
+func (sc *scratch) l1Put(key []byte, ent cacheEntry) {
+	if sc.l1 == nil {
+		//mldcslint:allow hotpathalloc one map allocation per worker lifetime
+		sc.l1 = make(map[string]cacheEntry, 256)
+	}
+	if len(sc.l1) >= l1MaxEntries {
+		return
+	}
+	//mldcslint:allow hotpathalloc bounded insert: at most l1MaxEntries string copies per worker over the engine's lifetime
+	sc.l1[string(key)] = ent
+}
+
 // flush folds one worker's local hit/miss counters into the cache.
 func (c *skyCache) flush(sc *scratch) {
 	if c == nil {
 		return
 	}
 	if sc.hits != 0 {
-		c.hits.Add(sc.hits)
+		c.hits.v.Add(sc.hits)
 		sc.hits = 0
 	}
 	if sc.misses != 0 {
-		c.misses.Add(sc.misses)
+		c.misses.v.Add(sc.misses)
 		sc.misses = 0
 	}
 }
@@ -161,7 +200,7 @@ func (c *skyCache) counts() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.v.Load(), c.misses.v.Load()
 }
 
 // len returns the number of distinct fingerprints stored.

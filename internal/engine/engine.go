@@ -18,7 +18,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +84,19 @@ type Stats struct {
 	Repaired        int
 	Recomputed      int
 	RepairFallbacks int
+	// Per-worker load accounting for the pass's parallel section (see
+	// pool.go): the heaviest and mean per-worker share of work items (cell
+	// batches) and nodes, the number of chunks obtained by work-stealing,
+	// and the imbalance ratio WorkerMaxNodes / WorkerMeanNodes (1.0 =
+	// perfectly balanced, higher = skew; 0 when the pass ran no work).
+	// Exported as the engine_worker_imbalance gauge and recorded in the
+	// benchmark reports to diagnose contended (hotspot) workloads.
+	WorkerMaxCells  int
+	WorkerMeanCells float64
+	WorkerMaxNodes  int
+	WorkerMeanNodes float64
+	WorkerImbalance float64
+	Steals          int
 }
 
 // Result is a snapshot of the engine's per-node output. The top-level
@@ -156,6 +168,22 @@ type Engine struct {
 	// marking, consumed by updateNode's repair gather — which therefore
 	// never needs a grid query — and reset entry-wise after the pass.
 	updCand [][]int
+	// Parallel-driver state (pool.go): persistent per-worker scratches,
+	// the reusable claim queues, the last pass's per-worker load books,
+	// Compute's flattened work items, and Update's cell-batch buffers.
+	scratches  []*scratch
+	queues     []taskQueue
+	lastLoads  []workerLoad
+	items      []cellSpan
+	updEnts    []updEnt
+	updEntsTmp []updEnt
+	updSpans   []updSpan
+	// The update pass closure and its error collector persist on the
+	// engine (runUpdatePass): a per-call closure would escape through the
+	// worker goroutines and cost a heap allocation every tick.
+	updPassFn   func(i int, sc *scratch)
+	updPassMark []bool
+	updPassErr  runErr
 }
 
 // kinState is one node's cached kinetic state: the neighbor IDs parallel
@@ -253,23 +281,28 @@ func (e *Engine) Compute(nodes []network.Node) (*Result, error) {
 		passSpan = m.spanCompute.Begin()
 		spanCell = m.spanCell
 	}
+	e.buildComputeItems(cells)
 	var firstErr runErr
-	workers := e.forEachShard(len(cells), func(i int, sc *scratch) {
-		cellSpan := spanCell.Begin()
-		for _, u := range cells[i] {
+	workers := e.forEachTask(len(e.items), func(i int, sc *scratch) {
+		it := e.items[i]
+		batch := cells[it.cell][it.lo:it.hi]
+		batchSpan := spanCell.Begin()
+		for _, u := range batch {
 			if err := e.computeNode(u, sc); err != nil {
 				firstErr.set(err)
 				break
 			}
 		}
-		if cellSpan.Sampled() {
-			cellSpan.End(map[string]any{"cell": i, "nodes": len(cells[i])})
+		sc.load.nodes += len(batch)
+		if batchSpan.Sampled() {
+			batchSpan.End(map[string]any{"cell": int(it.cell), "nodes": len(batch)})
 		}
 	})
 	if err := firstErr.get(); err != nil {
 		return nil, err
 	}
 	e.stats.Workers = workers
+	e.stats.recordLoads(e.lastLoads)
 	e.stats.Dirty = len(nodes)
 	e.stats.Fallbacks = int(e.fallbacks.Load())
 	hits1, misses1 := e.cache.counts()
@@ -315,51 +348,6 @@ func (e *Engine) Result() *Result { return e.snapshot() }
 // currently cached (0 when the cache is disabled).
 func (e *Engine) CacheLen() int { return e.cache.len() }
 
-// forEachShard runs fn(i, scratch) for every shard index in [0, n) with
-// the configured worker count. Shards are handed out through an atomic
-// cursor so the pool self-balances across cells of uneven population; each
-// worker owns one scratch, giving the steady path zero engine-side
-// allocations. Returns the number of workers used.
-func (e *Engine) forEachShard(n int, fn func(i int, sc *scratch)) int {
-	if n == 0 {
-		return 0
-	}
-	workers := e.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		sc := &scratch{}
-		for i := 0; i < n; i++ {
-			fn(i, sc)
-		}
-		e.cache.flush(sc)
-		return 1
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := &scratch{}
-			defer e.cache.flush(sc)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i, sc)
-			}
-		}()
-	}
-	wg.Wait()
-	return workers
-}
-
 // scratch holds one worker's reusable buffers, including the skyline
 // package's working memory. All slices are grown once and then recycled,
 // and per-node outputs are compare-and-kept against the previous pass, so
@@ -380,6 +368,14 @@ type scratch struct {
 	hits       int64           // cache counters, flushed once per worker
 	misses     int64
 	bypass     bool // adaptive cache bypass tripped this pass
+	// l1 is this worker's private front over the shared striped cache:
+	// lock-free replay of fingerprints this worker has already resolved,
+	// bounded by l1MaxEntries (see cache.go). Persisting with the scratch
+	// across passes keeps structured steady-state workloads entirely off
+	// the shared shards.
+	l1 map[string]cacheEntry
+	// load books this worker's share of the current pass (pool.go).
+	load workerLoad
 	// Kinetic repair buffers (see kinetic.go): neighborhood diff lists,
 	// the sorted copy of the cached neighbor IDs the diff searches, and
 	// the skyline the repair surgery ping-pongs through.
@@ -468,8 +464,19 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 	var shard *cacheShard
 	if e.cache != nil && !sc.bypass {
 		sc.key = appendFingerprint(sc.key[:0], hub.Radius, sc.tuples)
-		shard = e.cache.shard(sc.key)
-		if ent, ok := shard.get(sc.key); ok {
+		// L1 front first: a fingerprint this worker has already resolved
+		// replays without touching the shared shards (no hash, no lock).
+		ent, ok := sc.l1[string(sc.key)]
+		if !ok {
+			shard = e.cache.shard(sc.key)
+			if ent, ok = shard.get(sc.key); ok {
+				// Promote the shared hit into the private front so this
+				// worker's next encounter is lock-free.
+				//mldcslint:allow hotpathalloc L1 promotion inserts at most l1MaxEntries distinct keys per worker over the engine's lifetime; steady state only reads
+				sc.l1Put(sc.key, ent)
+			}
+		}
+		if ok {
 			sc.hits++
 			// A replayed entry carries no skyline, so the kinetic state
 			// cannot be refreshed; repair for this node resumes after its
@@ -542,8 +549,12 @@ func (e *Engine) computeNode(u int, sc *scratch) error {
 		// The entry outlives the scratch buffers, so it owns its canon copy
 		// (arena-backed); put itself copies the key. Misses are the only
 		// allocating branch of the per-node loop, and a steady-state pass
-		// has none.
-		shard.put(sc.key, cacheEntry{hubIn: hubIn, canon: sc.ownCanon()})
+		// has none. The fresh entry also seeds this worker's L1 front so a
+		// re-encounter replays without the shared shard.
+		ent := cacheEntry{hubIn: hubIn, canon: sc.ownCanon()}
+		shard.put(sc.key, ent)
+		//mldcslint:allow hotpathalloc miss path only — bounded by l1MaxEntries distinct fingerprints per worker; steady-state passes never miss
+		sc.l1Put(sc.key, ent)
 	}
 	if nodeSpan.Sampled() {
 		//mldcslint:allow hotpathalloc span finalization runs only for sampled spans, off the steady path
@@ -687,4 +698,11 @@ func (f *runErr) get() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.err
+}
+
+// reset clears the collector for reuse across passes.
+func (f *runErr) reset() {
+	f.mu.Lock()
+	f.err = nil
+	f.mu.Unlock()
 }

@@ -111,12 +111,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	if m != nil {
 		tickSpan = m.spanUpdate.Begin()
 	}
-	var firstErr runErr
-	workers := e.forEachShard(len(list), func(i int, sc *scratch) {
-		if err := e.updateNode(list[i], sc, movedMark); err != nil {
-			firstErr.set(err)
-		}
-	})
+	workers, passErr := e.runUpdatePass(list, movedMark)
 	for _, u := range moved {
 		movedMark[u] = false
 	}
@@ -125,8 +120,8 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 	for _, u := range list {
 		cand[u] = cand[u][:0]
 	}
-	if err := firstErr.get(); err != nil {
-		return nil, err
+	if passErr != nil {
+		return nil, passErr
 	}
 	hits1, misses1 := e.cache.counts()
 
@@ -144,6 +139,7 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 		Recomputed:      int(e.recomputed.Load()),
 		RepairFallbacks: int(e.repairFB.Load()),
 	}
+	e.stats.recordLoads(e.lastLoads)
 	for _, nb := range e.nbrs {
 		e.stats.Edges += len(nb)
 	}
@@ -158,4 +154,39 @@ func (e *Engine) Update(nodes []network.Node) (*Result, error) {
 		})
 	}
 	return e.snapshot(), nil
+}
+
+// runUpdatePass fans the dirty list over the worker pool as per-cell
+// batches: dirty nodes are grouped by owning grid cell (buildUpdateBatches)
+// and each batch is one claimable work item, so a tick's repair work runs
+// in parallel with cell-level locality instead of sequentially per node.
+// Work distribution cannot change results — each node's repair touches
+// only that node's state — so any claiming/stealing order produces the
+// same snapshot; the kinetic differential tests pin that across the
+// workers matrix. Split out from Update so the allocation regression
+// tests can pin the batching + claiming machinery at zero steady-state
+// allocations without the snapshot copy.
+func (e *Engine) runUpdatePass(list []int, movedMark []bool) (int, error) {
+	e.buildUpdateBatches(list)
+	e.updPassMark = movedMark
+	e.updPassErr.reset()
+	// The pass closure and error collector live on the engine so a
+	// steady-state tick allocates nothing: a fresh closure per call would
+	// escape to the heap through the worker goroutines.
+	if e.updPassFn == nil {
+		e.updPassFn = func(i int, sc *scratch) {
+			sp := e.updSpans[i]
+			batch := e.updEnts[sp.lo:sp.hi]
+			for _, ent := range batch {
+				if err := e.updateNode(int(ent.node), sc, e.updPassMark); err != nil {
+					e.updPassErr.set(err)
+					break
+				}
+			}
+			sc.load.nodes += len(batch)
+		}
+	}
+	workers := e.forEachTask(len(e.updSpans), e.updPassFn)
+	e.updPassMark = nil
+	return workers, e.updPassErr.get()
 }

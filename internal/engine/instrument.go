@@ -22,9 +22,15 @@ const (
 	MetricCacheHitRatio  = "engine_cache_hit_ratio"
 	MetricCacheEntries   = "engine_cache_entries"
 	MetricWorkers        = "engine_workers"
-	MetricDirtyNodes     = "engine_dirty_nodes"
-	MetricDirtyFraction  = "engine_dirty_fraction"
-	MetricFallbacks      = "engine_fallback_total"
+	// Per-pass load balance of the worker pool: the imbalance gauge is
+	// max/mean nodes processed per worker (1.0 = perfectly balanced), and
+	// the steal counter accumulates chunks claimed from another worker's
+	// range by the work-stealing scheduler.
+	MetricWorkerImbalance = "engine_worker_imbalance"
+	MetricStealTotal      = "engine_steal_total"
+	MetricDirtyNodes      = "engine_dirty_nodes"
+	MetricDirtyFraction   = "engine_dirty_fraction"
+	MetricFallbacks       = "engine_fallback_total"
 	// Kinetic repair accounting (Update only): dirty nodes whose skyline
 	// was patched in place, dirty nodes fully recomputed, repairs abandoned
 	// mid-surgery (tie or invariant trip — a subset of the recomputes), and
@@ -64,6 +70,10 @@ type engMetrics struct {
 	cacheHitRatio  *obs.Gauge
 	cacheEntries   *obs.Gauge
 	workers        *obs.Gauge
+	// Worker-pool load balance: imbalance is the last pass's max/mean
+	// nodes per worker; steals accumulates work-stealing chunk claims.
+	workerImbalance *obs.Gauge
+	steals          *obs.Counter
 	// dirtyNodes is the per-Update dirty-set size distribution;
 	// dirtyFraction the last Update's dirty share of the network, the
 	// quantity that makes incremental recompute worthwhile.
@@ -115,6 +125,8 @@ func Instrument(r *obs.Registry, sink *obs.EventSink) {
 		cacheHitRatio:   r.Gauge(MetricCacheHitRatio),
 		cacheEntries:    r.Gauge(MetricCacheEntries),
 		workers:         r.Gauge(MetricWorkers),
+		workerImbalance: r.Gauge(MetricWorkerImbalance),
+		steals:          r.Counter(MetricStealTotal),
 		dirtyNodes:      r.Histogram(MetricDirtyNodes),
 		dirtyFraction:   r.Gauge(MetricDirtyFraction),
 		fallbacks:       r.Counter(MetricFallbacks),
@@ -152,6 +164,7 @@ func (m *engMetrics) recordCompute(s Stats, elapsed time.Duration, cache *skyCac
 		m.cellsPerSec.Set(float64(s.Cells) / sec)
 	}
 	m.workers.Set(float64(s.Workers))
+	m.recordBalance(s)
 	m.recordCache(s, cache)
 }
 
@@ -166,7 +179,20 @@ func (m *engMetrics) recordUpdate(s Stats, elapsed time.Duration, cache *skyCach
 	m.repairs.Add(int64(s.Repaired))
 	m.recomputes.Add(int64(s.Recomputed))
 	m.repairFallbacks.Add(int64(s.RepairFallbacks))
+	m.recordBalance(s)
 	m.recordCache(s, cache)
+}
+
+// recordBalance books the pass's worker load-balance summary. The gauge
+// only moves on multi-worker passes — an empty or single-worker pass has
+// no balance to speak of and would just reset the gauge to 1.
+func (m *engMetrics) recordBalance(s Stats) {
+	if s.WorkerImbalance > 0 {
+		m.workerImbalance.Set(s.WorkerImbalance)
+	}
+	if s.Steals > 0 {
+		m.steals.Add(int64(s.Steals))
+	}
 }
 
 func (m *engMetrics) recordCache(s Stats, cache *skyCache) {

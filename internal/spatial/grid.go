@@ -45,6 +45,17 @@ func (g *Grid) key(p geom.Point) cellKey {
 // Len returns the number of indexed points.
 func (g *Grid) Len() int { return len(g.pts) }
 
+// CellCoord returns the integer coordinates of the grid cell currently
+// holding point i — the same key Cells() partitions and sorts by. Callers
+// use it to group points by owning cell without materializing Cells().
+func (g *Grid) CellCoord(i int) (x, y int) {
+	if i < 0 || i >= len(g.pts) {
+		panic("spatial: index out of range")
+	}
+	k := g.key(g.pts[i])
+	return k.x, k.y
+}
+
 // Move relocates point i to p, updating the index. The grid stores its
 // own copy of the coordinates, so the caller's slice is not modified.
 func (g *Grid) Move(i int, p geom.Point) {
